@@ -1,0 +1,72 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Each ``test_*`` file regenerates one table or figure of the paper (see
+DESIGN.md's per-experiment index).  A session-scoped trained bench is
+shared; every experiment prints its paper-style rows and writes them to
+``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can cite them.
+"""
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.core import EMSim, train_emsim
+from repro.hardware import HardwareDevice
+from repro.signal import simulation_accuracy
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@dataclass
+class Bench:
+    """Trained measurement bench shared by the experiments."""
+
+    device: HardwareDevice
+    model: object
+    simulator: EMSim
+
+    @property
+    def spc(self) -> int:
+        return self.device.samples_per_cycle
+
+    def accuracy(self, program, simulator=None, device=None,
+                 max_cycles=None) -> float:
+        """Paper metric for one program: simulated vs measured signal."""
+        device = device or self.device
+        simulator = simulator or self.simulator
+        measured = device.capture_ideal(program, max_cycles=max_cycles)
+        simulated = simulator.simulate(program, max_cycles=max_cycles)
+        length = min(len(measured.signal), len(simulated.signal))
+        return simulation_accuracy(simulated.signal[:length],
+                                   measured.signal[:length], self.spc)
+
+
+@pytest.fixture(scope="session")
+def bench():
+    device = HardwareDevice()
+    model = train_emsim(device)
+    return Bench(device=device, model=model,
+                 simulator=EMSim(model, core_config=device.core_config))
+
+
+@pytest.fixture()
+def record(request):
+    """Callable writing an experiment's report to results/ and stdout."""
+
+    def _record(experiment: str, text: str) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{experiment}.txt")
+        with open(path, "w") as handle:
+            handle.write(text.rstrip() + "\n")
+        header = f"===== {experiment} ====="
+        print(f"\n{header}\n{text.rstrip()}\n")
+
+    return _record
+
+
+def run_once(benchmark, function):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, rounds=1, iterations=1,
+                              warmup_rounds=0)

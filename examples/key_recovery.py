@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Design-stage key-recovery check on simulated signals.
+
+The paper's vision: software developers "detect and mitigate information
+leakage problems for security-sensitive applications" without measuring
+anything.  This example runs an RSA-style square-and-multiply modular
+exponentiation through EMSim, mounts an SPA attack on the *simulated*
+signal, recovers the secret exponent, then verifies that the constant-time
+rewrite closes the channel — all before any hardware exists.
+"""
+
+import numpy as np
+
+from repro import EMSim, HardwareDevice, train_emsim
+from repro.leakage import (capacity_per_cycle, duration_separation,
+                           recover_exponent)
+from repro.workloads import modexp_program
+
+SECRET_EXPONENT = 0xB00F
+MODULUS = 40961
+
+
+def main() -> None:
+    device = HardwareDevice()
+    print("training EMSim once...")
+    model = train_emsim(device)
+    simulator = EMSim(model, core_config=device.core_config)
+
+    print()
+    print(f"secret exponent: {SECRET_EXPONENT:#06x}")
+    for constant_time in (False, True):
+        label = "constant-time" if constant_time else "naive (leaky)"
+        program = modexp_program(7, SECRET_EXPONENT, MODULUS,
+                                 constant_time=constant_time)
+        simulated = simulator.simulate(program)
+        result = recover_exponent(simulated.trace, program)
+        recovered = result.exponent()
+        separation = duration_separation(result.durations)
+        verdict = "KEY RECOVERED" if recovered == SECRET_EXPONENT \
+            else "attack failed"
+        print(f"\n-- {label} implementation "
+              f"({simulated.num_cycles} cycles) --")
+        print(f"  per-bit durations: {result.durations}")
+        print(f"  duration-cluster separation: {separation:.1f} cycles")
+        print(f"  SPA on the simulated signal recovers "
+              f"{recovered:#06x}  -> {verdict}")
+
+    # automated mitigation: the compiler pass balances the branch and
+    # the same attack is re-run on the simulated signal to verify it
+    from repro.leakage import balance_branch_timing
+    program = modexp_program(7, SECRET_EXPONENT, MODULUS)
+    balanced, report = balance_branch_timing(program)
+    simulated = simulator.simulate(balanced)
+    result = recover_exponent(simulated.trace, balanced)
+    print(f"\n-- automated balancing pass "
+          f"({report.transformed} branch transformed, "
+          f"+{report.added_instructions} instructions) --")
+    print(f"  SPA after mitigation recovers {result.exponent():#06x}  "
+          f"-> {'KEY RECOVERED' if result.exponent() == SECRET_EXPONENT else 'attack defeated'}")
+
+    # mutual-information map: which cycles leak a single key bit?
+    print("\n-- leakage capacity of one key bit (simulated traces) --")
+    rng = np.random.default_rng(3)
+    secrets, traces = [], []
+    for _ in range(60):
+        bit = int(rng.integers(0, 2))
+        exponent = (0x2A << 2) | (bit << 1) | 1  # vary one bit only
+        program = modexp_program(7, exponent, MODULUS, bits=8)
+        traces.append(simulator.simulate(program).signal)
+        secrets.append(bit)
+    capacity = capacity_per_cycle(secrets, traces,
+                                  device.samples_per_cycle)
+    top = np.argsort(capacity)[-3:][::-1]
+    print(f"  max leakage: {capacity.max():.2f} bits/trace at cycles "
+          f"{sorted(int(c) for c in top)}")
+    print("  (a constant-time rewrite drives this to ~0 at the "
+          "bit-dependent cycles)")
+
+
+if __name__ == "__main__":
+    main()

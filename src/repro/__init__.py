@@ -1,0 +1,71 @@
+"""EMSim reproduction: microarchitecture-level EM side-channel simulation.
+
+Reproduction of "EMSim: A Microarchitecture-Level Simulation Tool for
+Modeling Electromagnetic Side-Channel Signals" (Sehatbakhsh, Yilmaz,
+Zajic, Prvulovic - HPCA 2020).
+
+Public API layers:
+
+* :mod:`repro.isa` - RV32IM instruction set, assembler, programs;
+* :mod:`repro.uarch` - cycle-accurate 5-stage core with bit-level
+  activity tracing;
+* :mod:`repro.signal` - kernels, reconstruction, acquisition, metrics;
+* :mod:`repro.hardware` - synthetic ground-truth device bench;
+* :mod:`repro.core` - EMSim: model, training, clustering, simulator;
+* :mod:`repro.leakage` - TVLA, SAVAT, AES, hardware debugging;
+* :mod:`repro.workloads` - program generators and canned kernels.
+
+Quick start::
+
+    from repro import HardwareDevice, train_emsim, EMSim, assemble
+    device = HardwareDevice()
+    model = train_emsim(device)
+    simulator = EMSim(model, core_config=device.core_config)
+    program = assemble("li t0, 42\\nmul t1, t0, t0\\nebreak")
+    result = simulator.simulate(program)
+"""
+
+from .core import (EMSim, EMSimConfig, EMSimModel, ModelSwitches, Trainer,
+                   coverage_groups, make_simulator, train_emsim)
+from .hardware import (ARTY, BOARDS, DE0_CV, DE1, DeviceInstance,
+                       HardwareDevice, Measurement, ProbePosition)
+from .isa import Instruction, NOP, Program, assemble
+from .leakage import aes_program, savat_matrix, tvla
+from .signal import simulation_accuracy
+from .uarch import CoreConfig, GoldenSimulator, Pipeline, run_program
+from .workloads import RandomProgramBuilder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ARTY",
+    "BOARDS",
+    "CoreConfig",
+    "DE0_CV",
+    "DE1",
+    "DeviceInstance",
+    "EMSim",
+    "EMSimConfig",
+    "EMSimModel",
+    "GoldenSimulator",
+    "HardwareDevice",
+    "Instruction",
+    "Measurement",
+    "ModelSwitches",
+    "NOP",
+    "Pipeline",
+    "ProbePosition",
+    "Program",
+    "RandomProgramBuilder",
+    "Trainer",
+    "aes_program",
+    "assemble",
+    "coverage_groups",
+    "make_simulator",
+    "run_program",
+    "savat_matrix",
+    "simulation_accuracy",
+    "train_emsim",
+    "tvla",
+    "__version__",
+]

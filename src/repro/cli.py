@@ -1,0 +1,163 @@
+"""Command-line interface for the EMSim reproduction.
+
+Usage (also available as ``python -m repro``)::
+
+    python -m repro train --out model.json [--board de0-cv]
+    python -m repro simulate --model model.json program.s [--csv out.csv]
+    python -m repro accuracy --model model.json [--groups 2]
+    python -m repro savat --model model.json [--pairs LDM/NOP,ADD/NOP]
+
+``train`` builds a model against the synthetic bench and saves it;
+``simulate`` runs a RV32IM assembly file through EMSim and reports the
+per-cycle amplitudes; ``accuracy`` scores the model on held-out coverage
+groups; ``savat`` computes simulated SAVAT values for instruction pairs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import (EMSim, coverage_groups, load_model, save_model,
+                   train_emsim)
+from .hardware import BOARDS, HardwareDevice
+from .isa import assemble
+from .leakage import savat_pair
+from .signal import simulation_accuracy
+from .uarch import DEFAULT_CONFIG
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="EMSim (HPCA 2020) reproduction CLI")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    train = commands.add_parser("train", help="train a model on the bench")
+    train.add_argument("--out", required=True, help="output model JSON")
+    train.add_argument("--board", default="de0-cv", choices=sorted(BOARDS))
+    train.add_argument("--probes", type=int, default=20,
+                       help="activity probes per class")
+
+    simulate = commands.add_parser(
+        "simulate", help="simulate the EM signal of an assembly program")
+    simulate.add_argument("--model", required=True)
+    simulate.add_argument("program", help="RV32IM assembly source file")
+    simulate.add_argument("--csv", help="write cycle,amplitude CSV here")
+    simulate.add_argument("--max-cycles", type=int, default=None)
+
+    accuracy = commands.add_parser(
+        "accuracy", help="score the model on held-out coverage groups")
+    accuracy.add_argument("--model", required=True)
+    accuracy.add_argument("--groups", type=int, default=2)
+    accuracy.add_argument("--board", default="de0-cv",
+                          choices=sorted(BOARDS))
+
+    savat = commands.add_parser(
+        "savat", help="simulated SAVAT for instruction pairs")
+    savat.add_argument("--model", required=True)
+    savat.add_argument("--pairs", default="LDM/NOP,LDC/NOP,ADD/NOP,MUL/DIV")
+
+    balance = commands.add_parser(
+        "balance", help="apply the branch-timing-balancing pass to an "
+                        "assembly file")
+    balance.add_argument("program", help="RV32IM assembly source file")
+    balance.add_argument("--out", required=True,
+                         help="write balanced assembly here")
+    return parser
+
+
+def _cmd_train(args) -> int:
+    device = HardwareDevice(board=BOARDS[args.board])
+    print(f"training on {device.name} ...")
+    model = train_emsim(device, activity_probes_per_class=args.probes)
+    save_model(model, args.out)
+    print(model.summary())
+    print(f"model written to {args.out}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    model = load_model(args.model)
+    with open(args.program) as handle:
+        program = assemble(handle.read(), name=args.program)
+    simulator = EMSim(model, core_config=DEFAULT_CONFIG)
+    result = simulator.simulate(program, max_cycles=args.max_cycles)
+    print(f"{program.name}: {len(program)} instructions, "
+          f"{result.num_cycles} cycles")
+    labels = result.trace.instruction_labels("E")
+    for cycle, amplitude in enumerate(result.amplitudes):
+        bar = "#" * max(0, int(8 * amplitude))
+        print(f"  {cycle:5d}  {labels[cycle]:<14s} {amplitude:7.3f} {bar}")
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write("cycle,execute_stage,amplitude\n")
+            for cycle, amplitude in enumerate(result.amplitudes):
+                handle.write(f"{cycle},{labels[cycle]},{amplitude}\n")
+        print(f"amplitudes written to {args.csv}")
+    return 0
+
+
+def _cmd_accuracy(args) -> int:
+    model = load_model(args.model)
+    device = HardwareDevice(board=BOARDS[args.board])
+    simulator = EMSim(model, core_config=device.core_config)
+    total = 0.0
+    groups = coverage_groups(group_size=256, seed=7,
+                             limit_groups=args.groups)
+    for group in groups:
+        measured = device.capture_ideal(group)
+        simulated = simulator.simulate(group)
+        length = min(len(measured.signal), len(simulated.signal))
+        score = simulation_accuracy(simulated.signal[:length],
+                                    measured.signal[:length],
+                                    device.samples_per_cycle)
+        total += score
+        print(f"  {group.name}: {score:6.1%}")
+    print(f"mean accuracy: {total / len(groups):6.1%} "
+          f"(paper: ~94.1%)")
+    return 0
+
+
+def _cmd_balance(args) -> int:
+    from .leakage import balance_branch_timing
+    with open(args.program) as handle:
+        program = assemble(handle.read(), name=args.program)
+    balanced, report = balance_branch_timing(program)
+    with open(args.out, "w") as handle:
+        handle.write(balanced.to_asm() + "\n")
+    print(f"transformed {report.transformed} branch(es), added "
+          f"{report.added_instructions} instructions")
+    print(f"balanced assembly written to {args.out}")
+    return 0
+
+
+def _cmd_savat(args) -> int:
+    model = load_model(args.model)
+    simulator = EMSim(model, core_config=DEFAULT_CONFIG)
+    spc = model.config.samples_per_cycle
+
+    def source(program):
+        result = simulator.simulate(program)
+        return result.signal, result.num_cycles
+
+    for pair in args.pairs.split(","):
+        kind_a, _, kind_b = pair.strip().partition("/")
+        measurement = savat_pair(source, kind_a.upper(), kind_b.upper(),
+                                 spc)
+        print(f"  SAVAT {kind_a.upper()}/{kind_b.upper()}: "
+              f"{measurement.value:8.3f}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {"train": _cmd_train, "simulate": _cmd_simulate,
+                "accuracy": _cmd_accuracy, "savat": _cmd_savat,
+                "balance": _cmd_balance}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""EMSim core: model, training, clustering, microbenchmarks, simulator."""
+
+from .ablations import ABLATIONS, all_simulators, make_simulator
+from .activity import (average_alpha, stage_class_labels,
+                       stage_flip_counts, stage_transition_matrices)
+from .clustering import (ClusterResult, agglomerative_cluster,
+                         cluster_instruction_signatures,
+                         signature_distance)
+from .config import EMSimConfig, FULL_MODEL, ModelSwitches
+from .factors import (ActivityFactorModel, AverageActivity,
+                      RegressionActivity, UnitActivity)
+from .microbench import (CLASS_MEMBERS, REPRESENTATIVES, all_combinations,
+                         combination_group, coverage_groups,
+                         double_load_probe, isolation_probe, pair_probe,
+                         probe_instruction_seq, repeat_probe,
+                         warmed_branch_probe)
+from .model import EMSimModel
+from .persistence import (load_model, model_from_dict, model_to_dict,
+                          save_model)
+from .regression import (LinearModel, fit_full, fit_linear,
+                         stepwise_select)
+from .simulator import EMSim, SimulatedSignal
+from .training import Trainer, fit_beta, fit_kernel, train_emsim
+
+__all__ = [
+    "ABLATIONS",
+    "ActivityFactorModel",
+    "AverageActivity",
+    "CLASS_MEMBERS",
+    "ClusterResult",
+    "EMSim",
+    "EMSimConfig",
+    "EMSimModel",
+    "FULL_MODEL",
+    "LinearModel",
+    "ModelSwitches",
+    "REPRESENTATIVES",
+    "RegressionActivity",
+    "SimulatedSignal",
+    "Trainer",
+    "UnitActivity",
+    "agglomerative_cluster",
+    "all_combinations",
+    "all_simulators",
+    "average_alpha",
+    "cluster_instruction_signatures",
+    "combination_group",
+    "coverage_groups",
+    "double_load_probe",
+    "fit_beta",
+    "fit_full",
+    "fit_kernel",
+    "fit_linear",
+    "isolation_probe",
+    "load_model",
+    "make_simulator",
+    "model_from_dict",
+    "model_to_dict",
+    "pair_probe",
+    "save_model",
+    "probe_instruction_seq",
+    "repeat_probe",
+    "warmed_branch_probe",
+    "signature_distance",
+    "stage_class_labels",
+    "stage_flip_counts",
+    "stage_transition_matrices",
+    "stepwise_select",
+    "train_emsim",
+    "train_emsim",
+]

@@ -1,0 +1,56 @@
+"""EMSim model configuration and ablation switches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..signal.kernels import DampedSineKernel, Kernel
+
+
+@dataclass(frozen=True)
+class ModelSwitches:
+    """Which parts of the EM model are enabled.
+
+    The defaults are full EMSim; each switch corresponds to one of the
+    paper's accuracy-degradation experiments (Figs. 2, 3, 5, 6, 7).
+    """
+
+    per_stage_sources: bool = True    # False -> single-source (Fig. 2)
+    regression_alpha: bool = True     # False -> Eq. 7 averaging (Fig. 3)
+    model_stalls: bool = True         # False -> ignore stalls (Fig. 5)
+    model_cache: bool = True          # False -> all loads hit (Fig. 6)
+    model_mispredicts: bool = True    # False -> oracle fetch (Fig. 7)
+    data_dependence: bool = True      # False -> alpha == 1 everywhere
+
+    def describe(self) -> str:
+        """Short human-readable ablation tag."""
+        disabled = [name for name, enabled in (
+            ("single-source", not self.per_stage_sources),
+            ("avg-alpha", not self.regression_alpha),
+            ("no-stall", not self.model_stalls),
+            ("no-cache", not self.model_cache),
+            ("no-mispredict", not self.model_mispredicts),
+            ("no-data", not self.data_dependence)) if enabled]
+        return "+".join(disabled) if disabled else "full"
+
+
+FULL_MODEL = ModelSwitches()
+"""All model features enabled (the paper's EMSim proper)."""
+
+
+@dataclass(frozen=True)
+class EMSimConfig:
+    """Static configuration of an EMSim instance."""
+
+    samples_per_cycle: int = 20
+    kernel: Kernel = field(default_factory=DampedSineKernel)
+    switches: ModelSwitches = FULL_MODEL
+    # activity-factor regression hyper-parameters
+    stepwise_f_threshold: float = 4.0
+    stepwise_max_features: int = 48
+    # minimum |A| below which activity scaling is not applied
+    amplitude_floor: float = 1e-3
+
+    def with_switches(self, **flags) -> "EMSimConfig":
+        """Copy with some :class:`ModelSwitches` fields replaced."""
+        return replace(self, switches=replace(self.switches, **flags))

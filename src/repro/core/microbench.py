@@ -1,0 +1,296 @@
+"""Model-building microbenchmarks (paper §III-B and §V-A).
+
+* *Isolation probes*: NOP -> inst -> NOP sequences with all operands zeroed
+  ("operands for inst are all set to r1 and r1 = 0"), from which the
+  per-stage baseline amplitudes A are measured.
+* *Operand probes*: the same shape with randomized operand values, for
+  activity-factor training.
+* *Combination groups*: the paper's coverage benchmark — all 7^5 = 16807
+  5-tuples of representative-cluster instructions, randomly grouped into
+  batches of 1024 combinations (5120 instructions), 17 groups in total,
+  plus another set drawn from the full ISA.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..isa.instructions import Instruction, NOP
+from ..isa.program import Program
+from ..workloads.generators import SCRATCH_WORDS, wrap_program
+
+PROBE_PADDING = 6
+"""NOPs before/after the probed instruction(s)."""
+
+# Operand registers used by probes: rs values live in x8/x9, rd in x7.
+PROBE_RD, PROBE_RS1, PROBE_RS2 = 7, 8, 9
+
+REPRESENTATIVES: Dict[str, str] = {
+    "alu": "add",
+    "shift": "sll",
+    "muldiv": "mul",
+    "load": "lw",
+    "store": "sw",
+    "branch": "bne",
+    "jump": "jal",
+}
+"""Behavioural class -> representative mnemonic (paper Table I picks one
+instruction per cluster; the load representative covers both the cache-hit
+and memory "clusters" via its dynamic outcome)."""
+
+CLASS_MEMBERS: Dict[str, Tuple[str, ...]] = {
+    "alu": ("add", "sub", "and", "or", "xor", "slt", "sltu", "addi",
+            "andi", "ori", "xori", "slti", "sltiu"),
+    "shift": ("sll", "srl", "sra", "slli", "srli", "srai"),
+    "muldiv": ("mul", "mulh", "mulhsu", "mulhu", "div", "divu", "rem",
+               "remu"),
+    "load": ("lb", "lh", "lw", "lbu", "lhu"),
+    "store": ("sb", "sh", "sw"),
+    "branch": ("beq", "bne", "blt", "bge", "bltu", "bgeu"),
+    "jump": ("jal", "jalr"),
+}
+"""Static class membership (the paper's Table I composition)."""
+
+
+def _materialize(name: str, rd: int = PROBE_RD, rs1: int = PROBE_RS1,
+                 rs2: int = PROBE_RS2, imm: int = 0,
+                 branch_offset: int = 8) -> Instruction:
+    """Build one instruction of ``name`` with probe operand conventions."""
+    members = {m for group in CLASS_MEMBERS.values() for m in group}
+    if name not in members:
+        raise ValueError(f"not a probe-able mnemonic: {name!r}")
+    if name in CLASS_MEMBERS["branch"]:
+        return Instruction(name, rs1=rs1, rs2=rs2, imm=branch_offset)
+    if name in CLASS_MEMBERS["store"]:
+        return Instruction(name, rs1=rs1, rs2=rs2, imm=imm)
+    if name in CLASS_MEMBERS["load"]:
+        return Instruction(name, rd=rd, rs1=rs1, imm=imm)
+    if name == "jal":
+        return Instruction(name, rd=rd, imm=8)  # skip one instruction
+    if name == "jalr":
+        return Instruction(name, rd=rd, rs1=rs1, imm=0)
+    if name.endswith("i") and name != "sltiu" or name in ("slti", "sltiu"):
+        if name in ("slli", "srli", "srai"):
+            return Instruction(name, rd=rd, rs1=rs1, imm=imm & 0x1F)
+        return Instruction(name, rd=rd, rs1=rs1,
+                           imm=((imm + 2048) % 4096) - 2048)
+    return Instruction(name, rd=rd, rs1=rs1, rs2=rs2)
+
+
+def _load_setup(rs1_value: int, rs2_value: int) -> List[Instruction]:
+    """li-style setup of the probe operand registers, NOP-separated."""
+    def load_imm(reg: int, value: int) -> List[Instruction]:
+        value &= 0xFFFFFFFF
+        upper = ((value + 0x800) >> 12) & 0xFFFFF
+        lower = value & 0xFFF
+        if lower >= 0x800:
+            lower -= 0x1000
+        return [Instruction("lui", rd=reg, imm=upper),
+                Instruction("addi", rd=reg, rs1=reg, imm=lower)]
+
+    return (load_imm(PROBE_RS1, rs1_value) +
+            load_imm(PROBE_RS2, rs2_value) + [NOP] * 2)
+
+
+def isolation_probe(name: str, rs1_value: int = 0, rs2_value: int = 0,
+                    padding: int = PROBE_PADDING,
+                    mem_offset: int = 0) -> Program:
+    """NOP -> inst -> NOP probe program for one mnemonic.
+
+    Zero operand values give the paper's baseline (instruction-dependent)
+    probe; non-zero values give operand probes for activity training.
+    ``mem_offset`` selects the load/store address (distinct lines produce
+    cache misses, repeats produce hits).
+    """
+    instr = _materialize(name, imm=mem_offset)
+    code = (_load_setup(rs1_value, rs2_value) + [NOP] * padding +
+            [instr] + [NOP] * padding)
+    return wrap_program(code, name=f"probe_{name}", seed_registers=True)
+
+
+def double_load_probe(name: str = "lw", offset: int = 0,
+                      padding: int = PROBE_PADDING) -> Program:
+    """Two identical loads, NOP-separated: first misses, second hits.
+
+    Used to measure the "Cache" (load-hit) cluster separately from the
+    memory-load cluster (paper Table I rows 4 and 6).
+    """
+    load = _materialize(name, imm=offset)
+    code = (_load_setup(0, 0) + [NOP] * padding + [load] +
+            [NOP] * padding + [load] + [NOP] * padding)
+    return wrap_program(code, name=f"double_{name}", seed_registers=True)
+
+
+def repeat_probe(name: str, rs1_value: int = 0, rs2_value: int = 0,
+                 count: int = 3, padding: int = PROBE_PADDING,
+                 mem_offset: int = 0) -> Program:
+    """NOP -> inst x count -> NOP probe with identical operands.
+
+    Back-to-back identical instructions produce near-zero latch flips from
+    the second instance on; these probes teach the activity-factor
+    regression that amplitude collapses without switching (an AA "pair"
+    from the paper's full combination space).
+    """
+    instr = _materialize(name, imm=mem_offset)
+    code = (_load_setup(rs1_value, rs2_value) + [NOP] * padding +
+            [instr] * count + [NOP] * padding)
+    return wrap_program(code, name=f"repeat_{name}x{count}",
+                        seed_registers=True)
+
+
+def warmed_branch_probe(name: str, rs1_value: int = 0,
+                        rs2_value: int = 0, gap: int = PROBE_PADDING,
+                        padding: int = PROBE_PADDING) -> Program:
+    """Branch probe measured on the *second* dynamic instance.
+
+    The first instance trains the direction predictor and the BTB, so the
+    second instance — the one whose signature is measured — executes
+    without a misprediction flush regardless of its outcome.  Use
+    :func:`probe_instruction_seq` + ``gap + 1`` for the measured seq.
+    """
+    if name not in CLASS_MEMBERS["branch"]:
+        raise ValueError(f"not a branch: {name!r}")
+    branch = _materialize(name)
+    code = (_load_setup(rs1_value, rs2_value) + [NOP] * padding +
+            [branch] + [NOP] * gap + [branch] + [NOP] * padding)
+    return wrap_program(code, name=f"warmed_{name}",
+                        seed_registers=True)
+
+
+def pair_probe(first: str, second: str, rs1_value: int = 0,
+               rs2_value: int = 0,
+               padding: int = PROBE_PADDING) -> Program:
+    """NOP -> instA -> instB -> NOP probe (MISO combination, Fig. 4)."""
+    code = (_load_setup(rs1_value, rs2_value) + [NOP] * padding +
+            [_materialize(first), _materialize(second)] + [NOP] * padding)
+    return wrap_program(code, name=f"pair_{first}_{second}",
+                        seed_registers=True)
+
+
+def probe_instruction_seq(program: Program) -> int:
+    """Dynamic sequence number of the probed instruction in a probe
+    program (the first non-NOP after the operand setup)."""
+    for index, instr in enumerate(program.instructions):
+        if index < 6:      # skip the 6 setup instructions (lui/addi/NOPs)
+            continue
+        if not instr.is_nop and instr.name != "ebreak":
+            return index
+    raise ValueError("no probed instruction found")
+
+
+# ----------------------------------------------------------------------
+# combination coverage groups (paper §V-A "Benchmark")
+# ----------------------------------------------------------------------
+def all_combinations(classes: Optional[Sequence[str]] = None,
+                     window: int = 5) -> List[Tuple[str, ...]]:
+    """All ``len(classes)**window`` orderings of representative classes.
+
+    With the default 7 clusters and the 5-stage window this is the
+    paper's 7^5 = 16807 combinations.
+    """
+    classes = tuple(classes or REPRESENTATIVES)
+    return list(itertools.product(classes, repeat=window))
+
+
+def _combination_instruction(cls: str, rng: random.Random,
+                             use_full_isa: bool) -> Instruction:
+    """One concrete instruction for a class slot in a combination group."""
+    pool = CLASS_MEMBERS[cls]
+    name = rng.choice(pool) if use_full_isa else REPRESENTATIVES[cls]
+    rd = rng.choice((7, 10, 11, 12, 13, 14))
+    rs1 = rng.choice((8, 9, 15, 16))
+    rs2 = rng.choice((8, 9, 15, 16))
+    if cls == "load":
+        offset = rng.randrange(0, 4 * SCRATCH_WORDS - 4) & ~3
+        return Instruction(name, rd=rd, rs1=3, imm=min(offset, 2044))
+    if cls == "store":
+        return Instruction(name, rs1=3, rs2=rs2,
+                           imm=rng.randrange(0, 2044) & ~3)
+    if cls == "branch":
+        # short forward branch: data-dependent direction, always safe
+        return Instruction(name, rs1=rs1, rs2=rs2, imm=8)
+    if cls == "jump":
+        return Instruction("jal", rd=rd, imm=8)
+    if name in ("slli", "srli", "srai"):
+        return Instruction(name, rd=rd, rs1=rs1, imm=rng.randrange(32))
+    if name.endswith("i") or name in ("slti", "sltiu"):
+        return Instruction(name, rd=rd, rs1=rs1,
+                           imm=rng.randrange(-2048, 2048))
+    return Instruction(name, rd=rd, rs1=rs1, rs2=rs2)
+
+
+def _operand_seed(rng: random.Random) -> List[Instruction]:
+    """Randomize the operand registers used by combination groups."""
+    seeds = []
+    for reg in (8, 9, 15, 16):
+        value = rng.getrandbits(32)
+        upper = ((value + 0x800) >> 12) & 0xFFFFF
+        lower = value & 0xFFF
+        if lower >= 0x800:
+            lower -= 0x1000
+        seeds.append(Instruction("lui", rd=reg, imm=upper))
+        seeds.append(Instruction("addi", rd=reg, rs1=reg, imm=lower))
+    return seeds
+
+
+def combination_group(combinations: Sequence[Tuple[str, ...]],
+                      seed: int = 0, use_full_isa: bool = False,
+                      loop_every: int = 64,
+                      name: str = "group") -> Program:
+    """Materialize one batch of class 5-tuples into a runnable program.
+
+    Instructions of consecutive tuples are concatenated so every tuple's
+    five instructions co-reside in the pipeline at some cycle.  Following
+    the paper, some tuples are wrapped into short loops with random
+    iteration counts ("manually modified branch instructions ... to create
+    loops with random instruction and iteration sizes").
+    """
+    rng = random.Random(seed)
+    code: List[Instruction] = _operand_seed(rng)
+    for index, combo in enumerate(combinations):
+        if loop_every and index and index % loop_every == 0:
+            iterations = rng.randrange(2, 5)
+            body = [_combination_instruction(cls, rng, use_full_isa)
+                    for cls in combo if cls not in ("branch", "jump")]
+            if body:
+                # NOP guard: a preceding jal/taken branch skips one
+                # instruction and must not skip the loop-counter init
+                code.append(NOP)
+                code.append(Instruction("addi", rd=22, rs1=0,
+                                        imm=iterations))
+                code.extend(body)
+                code.append(Instruction("addi", rd=22, rs1=22, imm=-1))
+                # loop while counter > 0 (signed): safe even if the
+                # counter were ever skipped or clobbered negative
+                code.append(Instruction("blt", rs1=0, rs2=22,
+                                        imm=-4 * (len(body) + 1)))
+                continue
+        for cls in combo:
+            code.append(_combination_instruction(cls, rng, use_full_isa))
+    return wrap_program(code, name=name, seed_registers=True)
+
+
+def coverage_groups(group_size: int = 1024, seed: int = 7,
+                    use_full_isa: bool = False,
+                    limit_groups: Optional[int] = None) -> List[Program]:
+    """The paper's 17 groups covering all 7^5 combinations.
+
+    ``limit_groups`` truncates for quick runs; ``use_full_isa`` draws the
+    members from the whole ISA instead of the representatives (the paper's
+    second set of 17 groups).
+    """
+    rng = random.Random(seed)
+    combos = all_combinations()
+    rng.shuffle(combos)
+    groups = []
+    for start in range(0, len(combos), group_size):
+        batch = combos[start:start + group_size]
+        index = len(groups)
+        groups.append(combination_group(
+            batch, seed=seed + 1000 + index, use_full_isa=use_full_isa,
+            name=f"{'isa' if use_full_isa else 'rep'}_group_{index:02d}"))
+        if limit_groups is not None and len(groups) >= limit_groups:
+            break
+    return groups

@@ -1,0 +1,143 @@
+"""The trained EMSim model: amplitudes, floors, MISO coefficients.
+
+Prediction (Eq. 9 of the paper, with explicit event handling from §IV):
+
+    X[n] = delta + sum_s  contribution(s, n)
+
+    contribution = 0                              stage stalled
+                 = F_s                            stage flows a NOP/bubble
+                 = F_s + M_s * alpha_s[n] * A(c, s)   stage runs class c
+
+``A(c, s)`` is the *baseline hardware amplitude* of behavioural class ``c``
+in stage ``s``, measured as the deviation from the all-NOP signal;
+``alpha`` the activity factor; ``F_s`` the per-stage NOP floor and ``M_s``
+the fitted MISO combination coefficient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..uarch.latches import STAGES
+from ..uarch.trace import ActivityTrace
+from .config import EMSimConfig, ModelSwitches
+from .factors import (ActivityFactorModel, AverageActivity,
+                      RegressionActivity, UnitActivity)
+
+
+@dataclass
+class EMSimModel:
+    """All trained parameters of one EMSim instance."""
+
+    config: EMSimConfig
+    amplitudes: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    floors: Dict[str, float] = field(default_factory=dict)
+    miso: Dict[str, float] = field(default_factory=dict)
+    intercept: float = 0.0
+    regression_activity: RegressionActivity = \
+        field(default_factory=RegressionActivity)
+    average_activity: AverageActivity = field(default_factory=AverageActivity)
+    # per-stage beta scaling for off-base probe positions (paper §V-D);
+    # 1.0 everywhere at the training position
+    beta: Dict[str, float] = field(default_factory=dict)
+    nop_level: float = 0.0
+    trained_on: str = ""
+
+    # ------------------------------------------------------------------
+    # parameter lookup
+    # ------------------------------------------------------------------
+    def amplitude(self, em_class: str, stage: str,
+                  switches: Optional[ModelSwitches] = None) -> float:
+        """Baseline amplitude A(c, s) with ablation-aware fallbacks."""
+        switches = switches or self.config.switches
+        if not switches.model_cache and em_class == "load_mem":
+            em_class = "load_cache"
+        if not switches.per_stage_sources:
+            values = [value for (cls, _), value in self.amplitudes.items()
+                      if cls == em_class]
+            return float(np.mean(values)) if values else 0.0
+        key = (em_class, stage)
+        if key in self.amplitudes:
+            return self.amplitudes[key]
+        # dynamic load variants share early-stage behaviour with "load"
+        if em_class in ("load_cache", "load_mem") and \
+                ("load", stage) in self.amplitudes:
+            return self.amplitudes[("load", stage)]
+        return 0.0
+
+    def _activity_model(self,
+                        switches: ModelSwitches) -> ActivityFactorModel:
+        if not switches.data_dependence:
+            return UnitActivity()
+        if switches.regression_alpha:
+            return self.regression_activity
+        return self.average_activity
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+    def predict_cycle_amplitudes(
+            self, trace: ActivityTrace,
+            switches: Optional[ModelSwitches] = None) -> np.ndarray:
+        """Per-cycle predicted signal amplitudes X[n] for a trace."""
+        switches = switches or self.config.switches
+        activity = self._activity_model(switches)
+        cycles = trace.num_cycles
+        prediction = np.full(cycles, self.intercept)
+        for stage in STAGES:
+            floor = self.floors.get(stage, 0.0)
+            scale = self.miso.get(stage, 1.0) * self.beta.get(stage, 1.0)
+            alphas = activity.alpha(trace, stage)
+            contribution = np.empty(cycles)
+            for cycle, occ in enumerate(trace.occupancy[stage]):
+                em_class = occ.em_class()
+                if em_class == "stall":
+                    if switches.model_stalls:
+                        contribution[cycle] = 0.0
+                        continue
+                    # ablation: pretend the stalled instruction kept
+                    # switching at full activity
+                    em_class = (occ.instr.cls.value if occ.instr is not None
+                                else "nop")
+                    if occ.instr is not None and occ.instr.is_load:
+                        em_class = "load_cache" if occ.dyn == "hit" \
+                            else "load_mem"
+                if em_class == "nop":
+                    contribution[cycle] = floor * \
+                        self.beta.get(stage, 1.0)
+                    continue
+                amplitude = self.amplitude(em_class, stage, switches)
+                contribution[cycle] = \
+                    floor * self.beta.get(stage, 1.0) + \
+                    scale * alphas[cycle] * amplitude
+            prediction += contribution
+        return prediction
+
+    # ------------------------------------------------------------------
+    # reporting helpers
+    # ------------------------------------------------------------------
+    def amplitude_table(self) -> str:
+        """Formatted A(c, s) table (classes x stages)."""
+        classes = sorted({cls for cls, _ in self.amplitudes})
+        header = "class      " + "".join(f"{stage:>9s}" for stage in STAGES)
+        lines = [header]
+        for cls in classes:
+            row = f"{cls:<11s}"
+            for stage in STAGES:
+                value = self.amplitudes.get((cls, stage))
+                row += f"{value:9.3f}" if value is not None else \
+                    "        -"
+            lines.append(row)
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        """One-paragraph description of the trained model."""
+        kept = self.regression_activity.selected_fraction()
+        return (f"EMSimModel(trained_on={self.trained_on!r}, "
+                f"classes={len({c for c, _ in self.amplitudes})}, "
+                f"nop_level={self.nop_level:.3f}, "
+                f"alpha_bits_kept={kept:.1%}, "
+                f"miso={{{', '.join(f'{s}: {v:.2f}' for s, v in sorted(self.miso.items()))}}})")

@@ -1,0 +1,114 @@
+"""Saving and loading trained EMSim models.
+
+The paper envisions trained parameters being distributed "as a library
+(similar to that of for other properties such as power, timing, etc.)" —
+trained once per board, then reused by developers without measurement
+hardware.  Models serialize to a single JSON document.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+import numpy as np
+
+from ..signal.kernels import DampedSineKernel
+from .config import EMSimConfig, ModelSwitches
+from .factors import AverageActivity, RegressionActivity
+from .model import EMSimModel
+from .regression import LinearModel
+
+FORMAT_VERSION = 1
+
+
+def _linear_model_to_dict(model: LinearModel) -> Dict[str, Any]:
+    return {
+        "intercept": model.intercept,
+        "coefficients": np.asarray(model.coefficients).tolist(),
+        "features": np.asarray(model.features).tolist(),
+        "residual_variance": model.residual_variance,
+        "r_squared": model.r_squared,
+    }
+
+
+def _linear_model_from_dict(data: Dict[str, Any]) -> LinearModel:
+    return LinearModel(
+        intercept=float(data["intercept"]),
+        coefficients=np.asarray(data["coefficients"], dtype=float),
+        features=np.asarray(data["features"], dtype=int),
+        residual_variance=float(data.get("residual_variance", 0.0)),
+        r_squared=float(data.get("r_squared", 0.0)))
+
+
+def model_to_dict(model: EMSimModel) -> Dict[str, Any]:
+    """Serialize a trained model to plain JSON-safe data."""
+    kernel = model.config.kernel
+    return {
+        "format_version": FORMAT_VERSION,
+        "trained_on": model.trained_on,
+        "config": {
+            "samples_per_cycle": model.config.samples_per_cycle,
+            "kernel": {"t0": kernel.t0, "theta": kernel.theta,
+                       "phase": getattr(kernel, "phase", 0.0)},
+            "stepwise_f_threshold": model.config.stepwise_f_threshold,
+            "stepwise_max_features": model.config.stepwise_max_features,
+        },
+        "amplitudes": [{"cls": cls, "stage": stage, "value": value}
+                       for (cls, stage), value in
+                       sorted(model.amplitudes.items())],
+        "floors": model.floors,
+        "miso": model.miso,
+        "intercept": model.intercept,
+        "nop_level": model.nop_level,
+        "beta": model.beta,
+        "alpha_models": {stage: _linear_model_to_dict(linear)
+                         for stage, linear in
+                         model.regression_activity.models.items()},
+        "base_flips": model.average_activity.base_flips,
+    }
+
+
+def model_from_dict(data: Dict[str, Any]) -> EMSimModel:
+    """Rebuild a trained model from :func:`model_to_dict` output."""
+    if data.get("format_version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported model format: "
+                         f"{data.get('format_version')!r}")
+    config_data = data["config"]
+    config = EMSimConfig(
+        samples_per_cycle=int(config_data["samples_per_cycle"]),
+        kernel=DampedSineKernel(**config_data["kernel"]),
+        switches=ModelSwitches(),
+        stepwise_f_threshold=float(config_data["stepwise_f_threshold"]),
+        stepwise_max_features=int(config_data["stepwise_max_features"]))
+    return EMSimModel(
+        config=config,
+        amplitudes={(entry["cls"], entry["stage"]): float(entry["value"])
+                    for entry in data["amplitudes"]},
+        floors={stage: float(value)
+                for stage, value in data["floors"].items()},
+        miso={stage: float(value)
+              for stage, value in data["miso"].items()},
+        intercept=float(data["intercept"]),
+        nop_level=float(data["nop_level"]),
+        beta={stage: float(value)
+              for stage, value in data["beta"].items()},
+        regression_activity=RegressionActivity(models={
+            stage: _linear_model_from_dict(linear)
+            for stage, linear in data["alpha_models"].items()}),
+        average_activity=AverageActivity(base_flips={
+            stage: float(value)
+            for stage, value in data["base_flips"].items()}),
+        trained_on=str(data.get("trained_on", "")))
+
+
+def save_model(model: EMSimModel, path: str) -> None:
+    """Write a trained model to ``path`` as JSON."""
+    with open(path, "w") as handle:
+        json.dump(model_to_dict(model), handle, indent=1)
+
+
+def load_model(path: str) -> EMSimModel:
+    """Load a trained model previously written by :func:`save_model`."""
+    with open(path) as handle:
+        return model_from_dict(json.load(handle))

@@ -1,0 +1,109 @@
+"""The EMSim facade: program in, simulated EM side-channel signal out.
+
+Integrates the trained :class:`~repro.core.model.EMSimModel` with the
+cycle-accurate core — the paper's vision of EMSim "integrated into a
+cycle-accurate simulator" usable by hardware/software/compiler developers
+without any measurement equipment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from ..isa.program import Program
+from ..signal.reconstruction import reconstruct
+from ..uarch.config import CoreConfig, DEFAULT_CONFIG
+from ..uarch.oracle import collect_oracle
+from ..uarch.pipeline import Pipeline
+from ..uarch.trace import ActivityTrace
+from .config import ModelSwitches
+from .model import EMSimModel
+
+
+@dataclass
+class SimulatedSignal:
+    """EMSim output for one program run."""
+
+    amplitudes: np.ndarray        # per-cycle predicted amplitudes X[n]
+    signal: np.ndarray            # reconstructed analog waveform
+    trace: ActivityTrace
+    samples_per_cycle: int
+
+    @property
+    def num_cycles(self) -> int:
+        """Simulated clock cycles."""
+        return len(self.amplitudes)
+
+
+class EMSim:
+    """A trained EM side-channel simulator for one device design."""
+
+    def __init__(self, model: EMSimModel,
+                 core_config: CoreConfig = DEFAULT_CONFIG,
+                 switches: Optional[ModelSwitches] = None,
+                 core_kind: str = "in-order"):
+        if core_kind not in ("in-order", "out-of-order"):
+            raise ValueError(f"unknown core kind: {core_kind!r}")
+        self.model = model
+        self.core_config = core_config
+        self.switches = switches or model.config.switches
+        self.core_kind = core_kind
+
+    # ------------------------------------------------------------------
+    def _effective_core_config(self) -> CoreConfig:
+        """Core configuration as seen by the (possibly ablated) model.
+
+        Disabling cache modeling means EMSim's internal timing model
+        believes every access is a hit (Fig. 6 bottom); misprediction
+        modeling off means EMSim's fetch is oracle-perfect (Fig. 7).
+        """
+        config = self.core_config
+        if not self.switches.model_cache:
+            config = replace(config,
+                             cache=replace(config.cache,
+                                           miss_extra_cycles=0))
+        return config
+
+    def run_trace(self, program: Program,
+                  max_cycles: Optional[int] = None) -> ActivityTrace:
+        """Run the program on EMSim's internal microarchitecture model."""
+        if self.core_kind == "out-of-order":
+            from ..uarch.ooo import OutOfOrderCore
+            if not self.switches.model_mispredicts:
+                raise ValueError("the no-mispredict ablation is only "
+                                 "implemented for the in-order core")
+            core = OutOfOrderCore(program,
+                                  config=self._effective_core_config())
+            return core.run(max_cycles=max_cycles)
+        oracle = None
+        if not self.switches.model_mispredicts:
+            oracle = collect_oracle(program)
+        core = Pipeline(program, config=self._effective_core_config(),
+                        oracle=oracle)
+        return core.run(max_cycles=max_cycles)
+
+    def simulate_trace(self, trace: ActivityTrace) -> SimulatedSignal:
+        """Predict the signal for an existing activity trace."""
+        amplitudes = self.model.predict_cycle_amplitudes(
+            trace, switches=self.switches)
+        samples_per_cycle = self.model.config.samples_per_cycle
+        signal = reconstruct(amplitudes, self.model.config.kernel,
+                             samples_per_cycle)
+        return SimulatedSignal(amplitudes=amplitudes, signal=signal,
+                               trace=trace,
+                               samples_per_cycle=samples_per_cycle)
+
+    def simulate(self, program: Program,
+                 max_cycles: Optional[int] = None) -> SimulatedSignal:
+        """Full flow: execute the program, predict its EM signal."""
+        return self.simulate_trace(self.run_trace(program,
+                                                  max_cycles=max_cycles))
+
+    def with_switches(self, **flags) -> "EMSim":
+        """A variant simulator with some model switches toggled."""
+        return EMSim(self.model, core_config=self.core_config,
+                     switches=replace(self.switches, **flags),
+                     core_kind=self.core_kind)

@@ -1,0 +1,485 @@
+"""EMSim model building against a measurement bench (paper §III & §V-A).
+
+The trainer drives the full methodology:
+
+1. fit the reconstruction-kernel parameters (theta, T0) to a measured
+   waveform (Fig. 1);
+2. measure the all-NOP baseline level;
+3. run zero-operand NOP->inst->NOP isolation probes per behavioural class
+   to extract per-stage baseline amplitudes A (Fig. 2) and baseline flip
+   counts;
+4. run random-operand probes and fit the per-stage activity-factor
+   regression with step-wise bit selection (Eq. 8 / Fig. 3);
+5. fit the MISO combination coefficients M and the per-stage NOP floors on
+   combination microbenchmarks (Eq. 9 / Fig. 4).
+
+Everything operates on *measured* signals only (ideal or scope+modulo
+captures) plus the known microarchitecture — no peeking at the emitter's
+internal parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..hardware.device import HardwareDevice, Measurement
+from ..isa.program import Program
+from ..signal.kernels import DampedSineKernel
+from ..signal.metrics import simulation_accuracy
+from ..signal.reconstruction import estimate_cycle_amplitudes, reconstruct
+from ..uarch.latches import STAGES, STAGE_REGISTERS
+from ..uarch.trace import ActivityTrace
+from .activity import stage_design_matrix
+from .config import EMSimConfig
+from .factors import AverageActivity, RegressionActivity
+from .microbench import (REPRESENTATIVES, coverage_groups,
+                         double_load_probe, isolation_probe, pair_probe,
+                         probe_instruction_seq, repeat_probe)
+from .model import EMSimModel
+from .regression import LinearModel, fit_linear, stepwise_select
+
+_AMPLITUDE_EPS = 1e-3
+
+
+def fit_kernel(signal: np.ndarray, samples_per_cycle: int,
+               t0_grid: Optional[Sequence[float]] = None,
+               theta_grid: Optional[Sequence[float]] = None
+               ) -> DampedSineKernel:
+    """Grid-search the damped-sine parameters that best explain a signal.
+
+    For each candidate (t0, theta), deconvolve per-cycle amplitudes and
+    score the re-synthesized waveform against the measurement; the best
+    scorer wins (the paper's Fig. 1 parameter estimation).
+    """
+    t0_grid = t0_grid if t0_grid is not None else \
+        np.linspace(0.15, 0.45, 13)
+    theta_grid = theta_grid if theta_grid is not None else \
+        np.linspace(2.0, 7.0, 11)
+    best_kernel, best_score = DampedSineKernel(), -np.inf
+    for t0 in t0_grid:
+        for theta in theta_grid:
+            kernel = DampedSineKernel(t0=float(t0), theta=float(theta))
+            amplitudes = estimate_cycle_amplitudes(signal, kernel,
+                                                   samples_per_cycle)
+            resynth = reconstruct(amplitudes, kernel, samples_per_cycle)
+            score = simulation_accuracy(resynth, signal,
+                                        samples_per_cycle)
+            # penalize wild amplitude swings (over-fitting via alternating
+            # huge positive/negative amplitudes)
+            roughness = float(np.mean(np.abs(np.diff(amplitudes)))) + 1e-9
+            score -= 1e-3 * roughness
+            if score > best_score:
+                best_kernel, best_score = kernel, score
+    return best_kernel
+
+
+@dataclass
+class Trainer:
+    """Builds an :class:`EMSimModel` from measurements of one device."""
+
+    device: HardwareDevice
+    config: EMSimConfig = field(default_factory=EMSimConfig)
+    capture_method: str = "ideal"
+    repetitions: int = 100
+    activity_probes_per_class: int = 20
+    miso_groups: int = 2
+    miso_group_size: int = 192
+    seed: int = 42
+    fit_kernel_parameters: bool = True
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        self.rng = np.random.default_rng(self.seed)
+        if self.config.samples_per_cycle != self.device.samples_per_cycle:
+            self.config = replace(
+                self.config,
+                samples_per_cycle=self.device.samples_per_cycle)
+
+    # ------------------------------------------------------------------
+    # measurement helpers
+    # ------------------------------------------------------------------
+    def _measure(self, program: Program) -> Measurement:
+        return self.device.measure(program, method=self.capture_method,
+                                   repetitions=self.repetitions)
+
+    def _amplitudes(self, measurement: Measurement) -> np.ndarray:
+        return estimate_cycle_amplitudes(
+            measurement.signal, self.config.kernel,
+            self.config.samples_per_cycle)
+
+    @staticmethod
+    def _active_cycles(trace: ActivityTrace, seq: int,
+                       stage: str) -> List[int]:
+        """Cycles where dynamic instruction ``seq`` is *active* in
+        ``stage`` (multi-cycle units are active on first and final
+        cycles)."""
+        return [cycle for cycle, occ in enumerate(trace.occupancy[stage])
+                if occ.seq == seq and occ.active]
+
+    # ------------------------------------------------------------------
+    # training stages
+    # ------------------------------------------------------------------
+    def train(self) -> EMSimModel:
+        """Run the full model-building pipeline."""
+        if self.fit_kernel_parameters:
+            self._fit_kernel()
+        nop_level = self._nop_baseline()
+        amplitudes, base_flips = self._baseline_amplitudes(nop_level)
+        regression = self._activity_regression(nop_level, amplitudes)
+        model = EMSimModel(
+            config=self.config,
+            amplitudes=amplitudes,
+            regression_activity=regression,
+            average_activity=AverageActivity(base_flips=base_flips),
+            nop_level=nop_level,
+            beta={stage: 1.0 for stage in STAGES},
+            trained_on=self.device.name)
+        self._fit_miso(model)
+        return model
+
+    def _log(self, message: str) -> None:
+        if self.verbose:
+            print(f"[trainer] {message}")
+
+    def _fit_kernel(self) -> None:
+        """Stage 1: estimate kernel shape from a mixed probe signal."""
+        probe = isolation_probe("add", rs1_value=0x5A5A5A5A,
+                                rs2_value=0x33CC33CC)
+        measurement = self._measure(probe)
+        kernel = fit_kernel(measurement.signal,
+                            self.config.samples_per_cycle)
+        self.config = replace(self.config, kernel=kernel)
+        self._log(f"kernel fit: t0={kernel.t0:.3f} theta={kernel.theta:.2f}")
+
+    def _nop_baseline(self) -> float:
+        """Stage 2: steady-state all-NOP amplitude level."""
+        probe = isolation_probe("add", rs1_value=0, rs2_value=0)
+        measurement = self._measure(probe)
+        amplitudes = self._amplitudes(measurement)
+        trace = measurement.trace
+        # steady NOP cycles: every stage flows a NOP while fetch is still
+        # running (probe padding zone) — drain cycles after the last fetch
+        # are quieter and would bias the level down
+        nop_cycles = [cycle for cycle in range(trace.num_cycles)
+                      if all(occ.em_class() == "nop"
+                             for occ in (trace.occupancy[stage][cycle]
+                                         for stage in STAGES))
+                      and trace.occupancy["F"][cycle].active]
+        if not nop_cycles:
+            raise RuntimeError("no all-NOP cycles found in probe")
+        return float(np.median(amplitudes[nop_cycles]))
+
+    def _probe_programs(self) -> Dict[str, Program]:
+        """Zero-operand isolation probes, one per behavioural class."""
+        programs = {cls: isolation_probe(name)
+                    for cls, name in REPRESENTATIVES.items()}
+        programs["load_cache"] = double_load_probe("lw")
+        return programs
+
+    def _baseline_amplitudes(self, nop_level: float
+                             ) -> Tuple[Dict[Tuple[str, str], float],
+                                        Dict[str, float]]:
+        """Stage 3: per-stage baseline amplitudes A and baseline flips."""
+        table: Dict[Tuple[str, str], List[float]] = {}
+        flip_rows: Dict[str, List[float]] = {stage: [] for stage in STAGES}
+
+        def note(cls: str, stage: str, value: float) -> None:
+            table.setdefault((cls, stage), []).append(value)
+
+        for cls, program in self._probe_programs().items():
+            measurement = self._measure(program)
+            amplitudes = self._amplitudes(measurement)
+            trace = measurement.trace
+            seq = probe_instruction_seq(program)
+            if cls == "load_cache":
+                # second load of the double probe (first primes the line)
+                seq = seq + 1 + 6  # first load + padding NOPs
+            for stage in STAGES:
+                for cycle in self._active_cycles(trace, seq, stage):
+                    delta = float(amplitudes[cycle]) - nop_level
+                    label = trace.occupancy[stage][cycle].em_class()
+                    note(label, stage, delta)
+                    flip_rows[stage].append(
+                        float(trace.flip_counts(stage)[cycle]))
+            self._log(f"A probe {cls}: done")
+
+        amplitudes_table = {key: float(np.mean(values))
+                            for key, values in table.items()}
+        base_flips = {stage: float(np.mean(rows)) if rows else 0.0
+                      for stage, rows in flip_rows.items()}
+        return amplitudes_table, base_flips
+
+    def _activity_probe_values(self) -> List[Tuple[str, int, int, int]]:
+        """(class, rs1, rs2, mem_offset) tuples for operand probes."""
+        probes = []
+        for cls in ("alu", "shift", "muldiv", "load", "store", "branch"):
+            for _ in range(self.activity_probes_per_class):
+                rs1 = int(self.rng.integers(0, 1 << 32))
+                rs2 = int(self.rng.integers(0, 1 << 32))
+                offset = int(self.rng.integers(0, 500)) * 4
+                probes.append((cls, rs1, rs2, offset))
+        return probes
+
+    def _activity_regression(self, nop_level: float,
+                             amplitudes: Dict[Tuple[str, str], float]
+                             ) -> RegressionActivity:
+        """Stage 4: per-stage alpha regression on transition bits.
+
+        Two passes.  First, isolated probes (one non-NOP stage per cycle)
+        give direct per-stage alpha observations, on which step-wise
+        selection prunes the transition bits (paper §III-B).  Second, the
+        selected bits are *re-fit jointly* across stages on a corpus that
+        also contains back-to-back identical instructions, so that the
+        model learns amplitude collapses when nothing switches.
+        """
+        rows: Dict[str, List[np.ndarray]] = {stage: [] for stage in STAGES}
+        targets: Dict[str, List[float]] = {stage: [] for stage in STAGES}
+        probe_measurements = []
+
+        for cls, rs1, rs2, offset in self._activity_probe_values():
+            name = REPRESENTATIVES[cls]
+            program = isolation_probe(name, rs1_value=rs1, rs2_value=rs2,
+                                      mem_offset=offset)
+            measurement = self._measure(program)
+            probe_measurements.append(measurement)
+            measured = self._amplitudes(measurement)
+            trace = measurement.trace
+            seq = probe_instruction_seq(program)
+            for stage in STAGES:
+                for cycle in self._active_cycles(trace, seq, stage):
+                    occ = trace.occupancy[stage][cycle]
+                    base = amplitudes.get((occ.em_class(), stage))
+                    if base is None:
+                        base = amplitudes.get((cls, stage))
+                    if base is None or abs(base) < _AMPLITUDE_EPS:
+                        continue
+                    alpha = (float(measured[cycle]) - nop_level) / base
+                    rows[stage].append(
+                        stage_design_matrix(trace, stage)[cycle])
+                    targets[stage].append(alpha)
+
+        # pass 1: step-wise bit selection on the isolated observations
+        selected: Dict[str, np.ndarray] = {}
+        for stage in STAGES:
+            if len(targets[stage]) < 8:
+                continue
+            design = np.vstack(rows[stage])
+            target = np.asarray(targets[stage])
+            # per-register flip counts (the leading design columns) are
+            # always kept; step-wise selection only adds individual bits
+            num_counts = len(STAGE_REGISTERS[stage])
+            model = stepwise_select(
+                design, target,
+                f_threshold=self.config.stepwise_f_threshold,
+                max_features=self.config.stepwise_max_features,
+                forced_features=list(range(num_counts)))
+            selected[stage] = model.features
+            self._log(f"alpha[{stage}]: {len(target)} obs, "
+                      f"{model.features.size} bits kept, "
+                      f"R2={model.r_squared:.3f}")
+
+        # pass 2: joint refit over isolated + repeated-instruction probes
+        for cls in ("alu", "shift", "muldiv", "load", "store"):
+            name = REPRESENTATIVES[cls]
+            for _ in range(max(2, self.activity_probes_per_class // 4)):
+                rs1 = int(self.rng.integers(0, 1 << 32))
+                rs2 = int(self.rng.integers(0, 1 << 32))
+                probe_measurements.append(self._measure(repeat_probe(
+                    name, rs1_value=rs1, rs2_value=rs2, count=3,
+                    mem_offset=int(self.rng.integers(0, 400)) * 4)))
+        return self._joint_alpha_fit(probe_measurements, nop_level,
+                                     amplitudes, selected)
+
+    def _joint_alpha_fit(self, measurements, nop_level, amplitudes,
+                         selected) -> RegressionActivity:
+        """Solve for all stages' (delta_s, c_s) in one ridge regression.
+
+        Model per cycle:  X - X_nop = sum_s A_s * (delta_s + T_s . c_s)
+        with A_s the baseline amplitude of the class active in stage s
+        (0 for NOP/bubble).  Handles cycles where several stages are
+        active at once, which the isolated extraction cannot.
+        """
+        stage_order = [stage for stage in STAGES if stage in selected]
+        column_spans: Dict[str, Tuple[int, int]] = {}
+        position = 0
+        for stage in stage_order:
+            width = 1 + selected[stage].size
+            column_spans[stage] = (position, width)
+            position += width
+        # trailing nuisance columns: one per stage, active when that stage
+        # is stalled (a stall shifts the level; skipping those cycles would
+        # discard every multi-cycle-unit result observation)
+        stall_columns = {stage: position + index
+                         for index, stage in enumerate(stage_order)}
+        total_columns = position + len(stage_order)
+
+        design_rows, target_rows = [], []
+        for measurement in measurements:
+            trace = measurement.trace
+            measured = self._amplitudes(measurement)
+            designs = {stage: stage_design_matrix(trace, stage)
+                       for stage in stage_order}
+            for cycle in range(trace.num_cycles):
+                row = np.zeros(total_columns)
+                informative = False
+                for stage in stage_order:
+                    occ = trace.occupancy[stage][cycle]
+                    label = occ.em_class()
+                    if label == "stall":
+                        row[stall_columns[stage]] = 1.0
+                        continue
+                    if label == "nop":
+                        continue
+                    base = amplitudes.get((label, stage))
+                    if base is None or abs(base) < _AMPLITUDE_EPS:
+                        continue
+                    start, width = column_spans[stage]
+                    row[start] = base
+                    features = designs[stage][cycle][selected[stage]]
+                    row[start + 1:start + width] = base * features
+                    informative = True
+                if not informative:
+                    continue
+                design_rows.append(row)
+                target_rows.append(float(measured[cycle]) - nop_level)
+
+        design = np.vstack(design_rows)
+        target = np.asarray(target_rows)
+        # ridge LS without global intercept (delta_s plays that role)
+        gram = design.T @ design + 1e-6 * np.eye(total_columns)
+        solution = np.linalg.solve(gram, design.T @ target)
+
+        models: Dict[str, LinearModel] = {}
+        for stage in stage_order:
+            start, width = column_spans[stage]
+            models[stage] = LinearModel(
+                intercept=float(solution[start]),
+                coefficients=solution[start + 1:start + width],
+                features=selected[stage])
+            self._log(f"alpha[{stage}] joint: delta={solution[start]:.3f}")
+        return RegressionActivity(models=models)
+
+    # ------------------------------------------------------------------
+    # MISO / floor fit (Eq. 9)
+    # ------------------------------------------------------------------
+    def _miso_training_programs(self) -> List[Program]:
+        programs = coverage_groups(group_size=self.miso_group_size,
+                                   seed=self.seed + 500,
+                                   limit_groups=self.miso_groups)
+        programs.append(pair_probe("add", "sll",
+                                   rs1_value=0x0F0F0F0F,
+                                   rs2_value=0x12345678))
+        programs.append(pair_probe("mul", "lw"))
+        # probes with long NOP-flow stretches pin down the per-stage
+        # floors, which dense combination code barely constrains
+        programs.append(isolation_probe("add", padding=12))
+        programs.append(isolation_probe("mul", rs1_value=0xDEADBEEF,
+                                        rs2_value=0x12345678, padding=12))
+        programs.append(repeat_probe("add", rs1_value=0x0F0F0F0F,
+                                     rs2_value=0x55AA55AA, count=6,
+                                     padding=10))
+        programs.append(repeat_probe("lw", count=4, padding=10))
+        return programs
+
+    def miso_design(self, model: EMSimModel, trace: ActivityTrace
+                    ) -> np.ndarray:
+        """(cycles, 10) design: per-stage NOP indicator and alpha*A term."""
+        cycles = trace.num_cycles
+        design = np.zeros((cycles, 2 * len(STAGES)))
+        activity = model.regression_activity
+        for index, stage in enumerate(STAGES):
+            alphas = activity.alpha(trace, stage)
+            for cycle, occ in enumerate(trace.occupancy[stage]):
+                em_class = occ.em_class()
+                if em_class == "stall":
+                    continue
+                if em_class == "nop":
+                    design[cycle, index] = 1.0
+                    continue
+                design[cycle, index] = 1.0  # floor present under activity
+                design[cycle, len(STAGES) + index] = \
+                    alphas[cycle] * model.amplitude(em_class, stage)
+        return design
+
+    def _fit_miso(self, model: EMSimModel) -> None:
+        """Stage 5: fit floors F_s and coefficients M_s jointly.
+
+        Rows where no stage runs an instruction (pure floor/stall rows)
+        are up-weighted: they are rare in dense code but they alone pin
+        down the per-stage NOP floors, without which the predicted quiet
+        level drifts to the dense-code mean.
+        """
+        designs, targets = [], []
+        for program in self._miso_training_programs():
+            measurement = self._measure(program)
+            measured = self._amplitudes(measurement)
+            trace = measurement.trace
+            designs.append(self.miso_design(model, trace))
+            targets.append(measured[:trace.num_cycles])
+        design = np.vstack(designs)
+        target = np.concatenate(targets)
+        pure_floor = np.all(design[:, len(STAGES):] == 0.0, axis=1)
+        weights = np.where(pure_floor, 25.0, 1.0)
+        intercept, coef = fit_linear(design, target, ridge=1e-6,
+                                     weights=weights)
+        model.intercept = float(intercept)
+        model.floors = {stage: float(coef[index])
+                        for index, stage in enumerate(STAGES)}
+        model.miso = {stage: float(coef[len(STAGES) + index])
+                      for index, stage in enumerate(STAGES)}
+        self._log(f"MISO fit: intercept={model.intercept:.3f} "
+                  f"miso={model.miso}")
+
+
+def train_emsim(device: HardwareDevice,
+                config: Optional[EMSimConfig] = None,
+                **kwargs) -> EMSimModel:
+    """One-call training of EMSim against a device bench."""
+    trainer = Trainer(device=device, config=config or EMSimConfig(),
+                      **kwargs)
+    return trainer.train()
+
+
+def fit_beta(model: EMSimModel, device: HardwareDevice,
+             programs: Sequence[Program],
+             capture_method: str = "ideal") -> Dict[str, float]:
+    """Refit per-stage loss coefficients beta at a new probe position.
+
+    The paper's §V-D procedure: keep A (trained at the base position),
+    substitute A -> A*beta, and solve the same linear model for beta.
+    Returns the fitted per-stage beta (does not mutate ``model``).
+    """
+    designs, targets = [], []
+    trainer = Trainer(device=device, config=model.config,
+                      capture_method=capture_method,
+                      fit_kernel_parameters=False)
+    for program in programs:
+        measurement = trainer._measure(program)
+        measured = trainer._amplitudes(measurement)
+        trace = measurement.trace
+        base = trainer.miso_design(model, trace)
+        # fold the already-fitted floors/miso into per-stage columns so
+        # beta is a pure per-stage scale
+        cycles = trace.num_cycles
+        design = np.zeros((cycles, len(STAGES)))
+        for index, stage in enumerate(STAGES):
+            design[:, index] = (base[:, index] *
+                                model.floors.get(stage, 0.0) +
+                                base[:, len(STAGES) + index] *
+                                model.miso.get(stage, 1.0))
+        designs.append(design)
+        targets.append(measured[:cycles])
+    design = np.vstack(designs)
+    target = np.concatenate(targets)
+    intercept, coef = fit_linear(design, target, ridge=1e-6)
+    del intercept
+    betas = {}
+    for index, stage in enumerate(STAGES):
+        excitation = float(np.abs(design[:, index]).sum())
+        # a stage the fit programs barely exercise is unidentifiable;
+        # keep the training-position default rather than fitting noise
+        betas[stage] = float(coef[index]) if excitation > 1.0 else 1.0
+    return betas

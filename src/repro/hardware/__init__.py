@@ -1,0 +1,27 @@
+"""Synthetic ground-truth hardware: EM sources, boards, probe, bench."""
+
+from .boards import ARTY, BOARDS, BoardProfile, DE0_CV, DE1, DeviceInstance
+from .device import (DEFAULT_SAMPLES_PER_CYCLE, HardwareDevice, Measurement)
+from .emitter import HardwareEmitter, stage_couplings
+from .probe import CENTER, ProbePosition, coupling
+from .units import EmUnit, UNIT_NAMES, build_units
+
+__all__ = [
+    "ARTY",
+    "BOARDS",
+    "BoardProfile",
+    "CENTER",
+    "DE0_CV",
+    "DE1",
+    "DEFAULT_SAMPLES_PER_CYCLE",
+    "DeviceInstance",
+    "EmUnit",
+    "HardwareDevice",
+    "HardwareEmitter",
+    "Measurement",
+    "ProbePosition",
+    "UNIT_NAMES",
+    "build_units",
+    "coupling",
+    "stage_couplings",
+]

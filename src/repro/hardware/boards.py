@@ -1,0 +1,95 @@
+"""Board profiles and manufacturing instances.
+
+The paper evaluates three boards — Terasic DE0-CV (Cyclone-V, the baseline),
+Terasic DE1 (Cyclone-II) and Digilent ARTY (Artix-35T), all at 50 MHz — plus
+three physical instances of the DE0-CV.  A *board* changes the CMOS
+technology and layout coupling, so unit gains and per-bit weights differ
+(EMSim must retrain A and c); a *manufacturing instance* of the same board
+only shifts the clock frequency slightly and scales the global gain, which
+the paper found harmless (§V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .units import build_units
+
+
+@dataclass(frozen=True)
+class BoardProfile:
+    """Static electrical personality of one board design."""
+
+    name: str
+    seed: int
+    clock_mhz: float = 50.0
+    gain_scale: float = 1.0
+    weight_scale: float = 1.0
+    kernel_t0: float = 0.25
+    kernel_theta: float = 4.0
+    phase_spread: float = 0.3
+    shape_spread: float = 0.04
+
+    def build_units(self) -> tuple:
+        """Instantiate this board's EM source units (deterministic)."""
+        rng = np.random.default_rng(self.seed)
+        return build_units(rng, gain_scale=self.gain_scale,
+                           weight_scale=self.weight_scale,
+                           kernel_t0=self.kernel_t0,
+                           kernel_theta=self.kernel_theta,
+                           phase_spread=self.phase_spread,
+                           shape_spread=self.shape_spread)
+
+
+DE0_CV = BoardProfile(name="de0-cv", seed=1001)
+"""The paper's baseline board: Terasic DE0-CV, Altera Cyclone-V."""
+
+DE1 = BoardProfile(name="de1", seed=2002, gain_scale=1.35,
+                   weight_scale=1.6, kernel_t0=0.28, kernel_theta=3.4)
+"""Terasic DE1, Altera Cyclone-II: older process, stronger emissions."""
+
+ARTY = BoardProfile(name="arty", seed=3003, gain_scale=0.75,
+                    weight_scale=0.7, kernel_t0=0.22, kernel_theta=4.6)
+"""Digilent ARTY, Xilinx Artix-35T: newer process, weaker emissions."""
+
+BOARDS = {board.name: board for board in (DE0_CV, DE1, ARTY)}
+"""Name -> profile for all modeled boards."""
+
+
+@dataclass(frozen=True)
+class DeviceInstance:
+    """One physical unit of a board design.
+
+    ``clock_ppm`` models the crystal tolerance ("the signals for board #2
+    and #3 are slightly shifted ... due to the slight shift in the actual
+    clock frequency"); ``gain_jitter`` is a small global amplitude
+    variation from process spread.
+    """
+
+    board: BoardProfile = DE0_CV
+    instance_id: int = 0
+
+    @property
+    def clock_ppm(self) -> float:
+        """Clock frequency offset of this instance in parts-per-million."""
+        rng = np.random.default_rng(self.board.seed * 7919 +
+                                    self.instance_id)
+        return float(rng.uniform(-80.0, 80.0)) if self.instance_id else 0.0
+
+    @property
+    def gain_jitter(self) -> float:
+        """Global amplitude scale of this instance (close to 1.0)."""
+        rng = np.random.default_rng(self.board.seed * 104729 +
+                                    self.instance_id)
+        return float(rng.uniform(0.97, 1.03)) if self.instance_id else 1.0
+
+    @property
+    def clock_scale(self) -> float:
+        """Actual-to-nominal clock period ratio."""
+        return 1.0 + self.clock_ppm * 1e-6
+
+    def units(self) -> tuple:
+        """The board's EM units (shared across instances of a board)."""
+        return self.board.build_units()

@@ -1,0 +1,170 @@
+"""The measurement bench: device under test + probe + oscilloscope.
+
+:class:`HardwareDevice` plays the role of the paper's FPGA board on the
+bench: it runs a program on the (fully known) microarchitecture, radiates
+through :class:`~repro.hardware.emitter.HardwareEmitter`, and is captured
+either ideally (noiseless grid — what infinitely-averaged modulo extraction
+converges to) or through the full scope + modulo-operation pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..isa.program import Program
+from ..signal.acquisition import Oscilloscope, ScopeConfig
+from ..signal.modulo import modulo_average
+from ..uarch.config import CoreConfig, DEFAULT_CONFIG
+from ..uarch.pipeline import Pipeline
+from ..uarch.trace import ActivityTrace
+from .boards import DE0_CV, BoardProfile, DeviceInstance
+from .emitter import HardwareEmitter
+from .probe import CENTER, ProbePosition
+
+DEFAULT_SAMPLES_PER_CYCLE = 20
+"""Uniform-grid resolution used throughout the reproduction."""
+
+
+@dataclass
+class Measurement:
+    """One captured signal with its provenance."""
+
+    signal: np.ndarray
+    trace: ActivityTrace
+    samples_per_cycle: int
+    program_name: str
+    device_name: str
+    method: str               # "ideal" or "reference"
+
+    @property
+    def num_cycles(self) -> int:
+        """Clock cycles covered by the capture."""
+        return len(self.signal) // self.samples_per_cycle
+
+
+class HardwareDevice:
+    """One physical device instance on the bench."""
+
+    def __init__(self,
+                 instance: Optional[DeviceInstance] = None,
+                 board: Optional[BoardProfile] = None,
+                 probe: ProbePosition = CENTER,
+                 core_config: CoreConfig = DEFAULT_CONFIG,
+                 scope_config: Optional[ScopeConfig] = None,
+                 samples_per_cycle: int = DEFAULT_SAMPLES_PER_CYCLE,
+                 seed: int = 12345,
+                 alu_bug: Optional[object] = None,
+                 core_kind: str = "in-order"):
+        if core_kind not in ("in-order", "out-of-order"):
+            raise ValueError(f"unknown core kind: {core_kind!r}")
+        if instance is None:
+            instance = DeviceInstance(board=board or DE0_CV)
+        elif board is not None and instance.board is not board:
+            raise ValueError("pass either instance or board, not both")
+        self.instance = instance
+        self.probe = probe
+        self.core_config = core_config
+        self.scope_config = scope_config or ScopeConfig()
+        self.samples_per_cycle = samples_per_cycle
+        self.rng = np.random.default_rng(seed)
+        self.alu_bug = alu_bug
+        self.core_kind = core_kind
+        self.units = instance.units()
+        self.emitter = HardwareEmitter(
+            self.units, probe=probe, gain=instance.gain_jitter,
+            clock_scale=instance.clock_scale)
+
+    @property
+    def name(self) -> str:
+        """Readable device identity, e.g. ``de0-cv#0``."""
+        return f"{self.instance.board.name}#{self.instance.instance_id}"
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, program: Program,
+            max_cycles: Optional[int] = None):
+        """Execute ``program`` on the device's core; returns trace+core."""
+        if self.core_kind == "out-of-order":
+            from ..uarch.ooo import OutOfOrderCore
+            core = OutOfOrderCore(program, config=self.core_config)
+        else:
+            core = Pipeline(program, config=self.core_config,
+                            alu_bug=self.alu_bug)
+        trace = core.run(max_cycles=max_cycles)
+        return trace, core
+
+    # ------------------------------------------------------------------
+    # capture paths
+    # ------------------------------------------------------------------
+    def capture_ideal(self, program: Program,
+                      max_cycles: Optional[int] = None) -> Measurement:
+        """Noiseless emission on the uniform grid.
+
+        Equivalent to the reference signal after unlimited modulo
+        averaging; the fast path for large experiments.
+        """
+        trace, _ = self.run(program, max_cycles=max_cycles)
+        signal = self.emitter.signal_on_grid(trace, self.samples_per_cycle)
+        return Measurement(signal=signal, trace=trace,
+                           samples_per_cycle=self.samples_per_cycle,
+                           program_name=program.name,
+                           device_name=self.name, method="ideal")
+
+    def capture_reference(self, program: Program,
+                          repetitions: int = 100,
+                          max_cycles: Optional[int] = None) -> Measurement:
+        """Full acquisition chain: scope sampling + modulo averaging.
+
+        The paper's §II-B procedure — ``repetitions`` noisy asynchronous
+        captures folded by Eq. 1 onto the per-cycle grid.  The folding
+        period uses the device's *actual* clock (measured in practice from
+        the signal itself), so manufacturing clock offsets appear only as
+        a slight per-cycle waveform stretch.
+        """
+        trace, _ = self.run(program, max_cycles=max_cycles)
+        continuous = self.emitter.continuous(trace)
+        duration = trace.num_cycles * self.instance.clock_scale
+        scope = Oscilloscope(self.scope_config, self.rng)
+        times, samples = scope.capture_repetitions(continuous, duration,
+                                                   repetitions)
+        reference, _ = modulo_average(
+            samples, times, period=duration,
+            num_bins=trace.num_cycles * self.samples_per_cycle)
+        return Measurement(signal=reference, trace=trace,
+                           samples_per_cycle=self.samples_per_cycle,
+                           program_name=program.name,
+                           device_name=self.name, method="reference")
+
+    def capture_single(self, program: Program,
+                       noise_rms: Optional[float] = None,
+                       max_cycles: Optional[int] = None) -> Measurement:
+        """One single-shot trace: uniform grid plus AWGN, no averaging.
+
+        This is what an attacker (or a TVLA campaign) records per
+        execution — individual noisy traces, not modulo-averaged
+        references.
+        """
+        if noise_rms is None:
+            noise_rms = self.scope_config.noise_rms
+        measurement = self.capture_ideal(program, max_cycles=max_cycles)
+        noisy = measurement.signal + self.rng.normal(
+            0.0, noise_rms, size=measurement.signal.shape)
+        return Measurement(signal=noisy, trace=measurement.trace,
+                           samples_per_cycle=self.samples_per_cycle,
+                           program_name=program.name,
+                           device_name=self.name, method="single")
+
+    def measure(self, program: Program, method: str = "ideal",
+                repetitions: int = 100,
+                max_cycles: Optional[int] = None) -> Measurement:
+        """Capture via the chosen method (``ideal`` or ``reference``)."""
+        if method == "ideal":
+            return self.capture_ideal(program, max_cycles=max_cycles)
+        if method == "reference":
+            return self.capture_reference(program, repetitions=repetitions,
+                                          max_cycles=max_cycles)
+        raise ValueError(f"unknown capture method: {method!r}")

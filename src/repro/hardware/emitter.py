@@ -1,0 +1,143 @@
+"""Ground-truth EM emission synthesis from a microarchitectural trace.
+
+Superposes every unit's radiation: per cycle ``n`` each unit ``u``
+contributes ``beta_u * g * a_u[n] * k_u(t - n)`` where ``a_u[n]`` combines
+the unit's class-dependent static activity with its flip-weighted latch
+transitions, ``k_u`` is the unit's own damped-sine kernel (own phase/shape),
+``beta_u`` the probe coupling and ``g`` the device instance gain.
+
+This is the finest-grained model in the package — the "physics" that both
+the real measurements in the paper and EMSim's reduced per-stage model sit
+on top of.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..uarch.latches import STAGES
+from ..uarch.trace import ActivityTrace
+from .probe import CENTER, ProbePosition, coupling
+from .units import EmUnit
+
+
+class HardwareEmitter:
+    """Synthesizes the analog emission of one device for one trace."""
+
+    def __init__(self, units: Sequence[EmUnit],
+                 probe: ProbePosition = CENTER,
+                 gain: float = 1.0,
+                 clock_scale: float = 1.0):
+        self.units = tuple(units)
+        self.probe = probe
+        self.gain = gain
+        self.clock_scale = clock_scale
+        self._couplings = np.array([coupling(unit, probe) * unit.polarity
+                                    for unit in self.units])
+
+    # ------------------------------------------------------------------
+    # per-cycle unit amplitudes
+    # ------------------------------------------------------------------
+    def unit_amplitudes(self, trace: ActivityTrace) -> np.ndarray:
+        """(cycles, units) matrix of raw per-unit activity amplitudes."""
+        cycles = trace.num_cycles
+        transitions = {stage: trace.transition_matrix(stage)
+                       for stage in STAGES}
+        classes = {stage: [occ.em_class()
+                           for occ in trace.occupancy[stage]]
+                   for stage in STAGES}
+        amplitudes = np.zeros((cycles, len(self.units)))
+        for column, unit in enumerate(self.units):
+            static = np.fromiter(
+                (unit.static_activity(label)
+                 for label in classes[unit.stage]),
+                dtype=float, count=cycles)
+            flips = transitions[unit.stage][:, unit.bit_indices] @ \
+                unit.bit_weights
+            amplitudes[:, column] = static + flips
+        return amplitudes
+
+    # ------------------------------------------------------------------
+    # waveform synthesis
+    # ------------------------------------------------------------------
+    def signal_on_grid(self, trace: ActivityTrace,
+                       samples_per_cycle: int,
+                       unit_names: Optional[Sequence[str]] = None
+                       ) -> np.ndarray:
+        """Noiseless emission on the uniform per-cycle sample grid.
+
+        ``unit_names`` restricts synthesis to a subset of sources (used by
+        diagnostics that look at one stage in isolation).
+        """
+        amplitudes = self.unit_amplitudes(trace)
+        total = np.zeros(trace.num_cycles * samples_per_cycle)
+        for column, unit in enumerate(self.units):
+            if unit_names is not None and unit.name not in unit_names:
+                continue
+            impulses = np.zeros_like(total)
+            impulses[::samples_per_cycle] = amplitudes[:, column]
+            response = unit.kernel.sampled(samples_per_cycle)
+            scaled = self.gain * self._couplings[column]
+            total += scaled * np.convolve(impulses, response)[:len(total)]
+        return total
+
+    def per_unit_signals(self, trace: ActivityTrace,
+                         samples_per_cycle: int) -> Dict[str, np.ndarray]:
+        """Each unit's individual contribution on the uniform grid."""
+        return {unit.name: self.signal_on_grid(trace, samples_per_cycle,
+                                               unit_names=(unit.name,))
+                for unit in self.units}
+
+    def stage_signal_on_grid(self, trace: ActivityTrace, stage: str,
+                             samples_per_cycle: int) -> np.ndarray:
+        """Combined contribution of all sources in one pipeline stage."""
+        names = tuple(unit.name for unit in self.units
+                      if unit.stage == stage)
+        return self.signal_on_grid(trace, samples_per_cycle,
+                                   unit_names=names)
+
+    def continuous(self, trace: ActivityTrace):
+        """Return ``y(t)`` in *nominal*-clock cycle units.
+
+        The device's actual clock may be slightly off nominal
+        (``clock_scale``); events land at ``n * clock_scale`` and kernels
+        stretch accordingly, exactly what a scope with an absolute time
+        base sees.
+        """
+        amplitudes = self.unit_amplitudes(trace)
+        couplings = self.gain * self._couplings
+        units = self.units
+        num_cycles = trace.num_cycles
+        scale = self.clock_scale
+
+        def evaluate(times: np.ndarray) -> np.ndarray:
+            times = np.asarray(times, dtype=float) / scale
+            result = np.zeros_like(times)
+            base_cycle = np.floor(times).astype(int)
+            for column, unit in enumerate(units):
+                support = int(np.ceil(unit.kernel.support_cycles))
+                for lag in range(support + 1):
+                    cycle = base_cycle - lag
+                    valid = (cycle >= 0) & (cycle < num_cycles)
+                    if not valid.any():
+                        continue
+                    tau = times[valid] - cycle[valid]
+                    result[valid] += couplings[column] * \
+                        amplitudes[cycle[valid], column] * \
+                        unit.kernel.evaluate(tau)
+            return result
+
+        return evaluate
+
+
+def stage_couplings(units: Sequence[EmUnit],
+                    probe: ProbePosition) -> Dict[str, float]:
+    """Mean |coupling| per pipeline stage at a probe position (diagnostic
+    for the distance experiments, Fig. 9)."""
+    per_stage: Dict[str, list] = {stage: [] for stage in STAGES}
+    for unit in units:
+        per_stage[unit.stage].append(abs(coupling(unit, probe)))
+    return {stage: float(np.mean(values)) if values else 0.0
+            for stage, values in per_stage.items()}

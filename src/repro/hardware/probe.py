@@ -1,0 +1,54 @@
+"""Magnetic probe model: position-dependent coupling to each EM source.
+
+The paper (§V-D) treats the probe-to-source channel as flat fading with a
+*loss coefficient* beta per source; moving the probe changes every source's
+coupling, which is why simulated amplitudes trained at one position need a
+refitted beta at another (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .units import EmUnit
+
+
+@dataclass(frozen=True)
+class ProbePosition:
+    """Probe location relative to the die center, in cm.
+
+    The paper's base position is the center of the processor at 5 cm
+    height; ``CENTER`` reproduces it.
+    """
+
+    x: float = 0.0
+    y: float = 0.0
+    height: float = 5.0
+
+    def distance_to(self, unit_position: Tuple[float, float]) -> float:
+        """Euclidean distance from the probe tip to a die block."""
+        dx = self.x - unit_position[0]
+        dy = self.y - unit_position[1]
+        return float(np.sqrt(dx * dx + dy * dy + self.height ** 2))
+
+
+CENTER = ProbePosition()
+"""The paper's base measurement point (probe over the die center)."""
+
+
+def coupling(unit: EmUnit, probe: ProbePosition,
+             reference: ProbePosition = CENTER,
+             falloff: float = 1.7) -> float:
+    """Loss coefficient beta of ``unit`` at ``probe``.
+
+    Normalized so beta == 1 at the ``reference`` position: the paper fixes
+    beta_0 = 1 at the base point and absorbs it into the baseline
+    amplitude A = A_0 * beta_0.  Near-field magnetic coupling falls off
+    roughly like distance^-falloff.
+    """
+    base_distance = reference.distance_to(unit.position)
+    distance = probe.distance_to(unit.position)
+    return float((base_distance / distance) ** falloff)

@@ -1,0 +1,183 @@
+"""EM source units of the synthetic ground-truth hardware.
+
+Each microarchitectural block (decoder, register file, ALU, data bus, ...)
+is an independent EM source — the physical reality EMSim approximates with
+one source per pipeline stage.  A unit taps a subset of its stage's latch
+bits with *non-uniform per-bit weights* (the paper found "not all the
+bit-flips have the similar impact"; ALU output and memory-bus flips matter
+most), has an instruction-class-dependent static activity, and radiates
+with its own damped-sine kernel whose phase/shape differ slightly per unit —
+which is why a single-kernel, single-source model cannot be exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..signal.kernels import DampedSineKernel
+from ..uarch.latches import stage_register_offsets
+
+# Static per-class activity of each unit kind, in arbitrary signal units.
+# Rows: what occupies the stage; the emitter adds flip-weighted activity on
+# top.  "stall" rows are tiny: stalled stages are frozen/power-gated.
+_BASE_ACTIVITY: Dict[str, Dict[str, float]] = {
+    "fetch_logic": {"nop": 0.30, "stall": 0.02, "alu": 0.42, "shift": 0.42,
+                    "muldiv": 0.42, "load": 0.45, "store": 0.45,
+                    "branch": 0.55, "jump": 0.60, "system": 0.35},
+    "predictor": {"nop": 0.02, "stall": 0.00, "branch": 0.30, "jump": 0.22,
+                  "alu": 0.02, "shift": 0.02, "muldiv": 0.02, "load": 0.02,
+                  "store": 0.02, "system": 0.02},
+    "decoder": {"nop": 0.22, "stall": 0.02, "alu": 0.40, "shift": 0.42,
+                "muldiv": 0.52, "load": 0.50, "store": 0.48,
+                "branch": 0.46, "jump": 0.44, "system": 0.30},
+    "regfile_read": {"nop": 0.05, "stall": 0.01, "alu": 0.38, "shift": 0.36,
+                     "muldiv": 0.40, "load": 0.30, "store": 0.38,
+                     "branch": 0.38, "jump": 0.12, "system": 0.05},
+    "imm_gen": {"nop": 0.04, "stall": 0.00, "alu": 0.18, "shift": 0.16,
+                "muldiv": 0.04, "load": 0.20, "store": 0.20,
+                "branch": 0.20, "jump": 0.24, "system": 0.04},
+    "alu": {"nop": 0.12, "stall": 0.02, "alu": 0.62, "shift": 0.78,
+            "muldiv": 0.35, "load": 0.55, "store": 0.55, "branch": 0.58,
+            "jump": 0.35, "system": 0.10},
+    "muldiv_unit": {"nop": 0.02, "stall": 0.04, "muldiv": 0.50, "alu": 0.02,
+                    "shift": 0.02, "load": 0.02, "store": 0.02,
+                    "branch": 0.02, "jump": 0.02, "system": 0.02},
+    "ex_control": {"nop": 0.06, "stall": 0.01, "alu": 0.14, "shift": 0.14,
+                   "muldiv": 0.18, "load": 0.16, "store": 0.16,
+                   "branch": 0.20, "jump": 0.16, "system": 0.08},
+    "dbus": {"nop": 0.04, "stall": 0.15, "load_cache": 0.72,
+             "load_mem": 0.95, "store": 0.80, "alu": 0.04, "shift": 0.04,
+             "muldiv": 0.04, "branch": 0.04, "jump": 0.04, "system": 0.04},
+    "cache_array": {"nop": 0.03, "stall": 0.08, "load_cache": 0.85,
+                    "load_mem": 0.60, "store": 0.70, "alu": 0.03,
+                    "shift": 0.03, "muldiv": 0.03, "branch": 0.03,
+                    "jump": 0.03, "system": 0.03},
+    "regfile_write": {"nop": 0.08, "stall": 0.01, "alu": 0.40,
+                      "shift": 0.40, "muldiv": 0.50, "load": 0.52,
+                      "load_cache": 0.52, "load_mem": 0.52, "store": 0.10,
+                      "branch": 0.10, "jump": 0.40, "system": 0.05},
+}
+
+# Which latch registers each unit taps, and the mean per-bit flip weight.
+_UNIT_TAPS: Dict[str, Tuple[str, Tuple[str, ...], float]] = {
+    # unit -> (stage, registers, mean bit weight)
+    "fetch_logic": ("F", ("pc", "fetch_instr"), 0.004),
+    "predictor": ("F", ("pred_state",), 0.010),
+    "decoder": ("D", ("dec_instr", "dec_ctrl"), 0.005),
+    "regfile_read": ("D", ("rs1_val", "rs2_val"), 0.007),
+    "imm_gen": ("D", ("dec_imm",), 0.003),
+    # the paper: ALU-output flips have the most significant impact
+    "alu": ("E", ("alu_a", "alu_b", "alu_out"), 0.016),
+    "muldiv_unit": ("E", ("muldiv_lo", "muldiv_hi"), 0.030),
+    "ex_control": ("E", ("ex_ctrl",), 0.008),
+    # ... followed by the memory buses
+    "dbus": ("M", ("mem_addr", "mem_wdata", "mem_rdata"), 0.014),
+    "cache_array": ("M", ("mem_ctrl",), 0.009),
+    "regfile_write": ("W", ("wb_data", "wb_rd", "wb_ctrl"), 0.009),
+}
+
+UNIT_NAMES: Tuple[str, ...] = tuple(_UNIT_TAPS)
+"""All EM source unit names, in canonical order."""
+
+
+@dataclass(frozen=True, eq=False)
+class EmUnit:
+    """One EM source: taps, weights, kernel, die position."""
+
+    name: str
+    stage: str
+    bit_indices: np.ndarray = field(repr=False)   # into the stage's bits
+    bit_weights: np.ndarray = field(repr=False)   # same length, >= 0
+    base_activity: Dict[str, float] = field(repr=False)
+    kernel: DampedSineKernel = field(default_factory=DampedSineKernel)
+    position: Tuple[float, float] = (0.0, 0.0)    # cm on the die
+    polarity: float = 1.0                          # field orientation sign
+
+    def static_activity(self, em_class: str) -> float:
+        """Class-dependent static activity (0 for unknown classes)."""
+        if em_class in self.base_activity:
+            return self.base_activity[em_class]
+        if em_class.endswith("_final"):
+            # final cycle of a multi-cycle unit: result write burst
+            return 1.4 * self.static_activity(em_class[:-6])
+        if em_class in ("load_cache", "load_mem", "load"):
+            # fall back across the load variants for units that do not
+            # distinguish them
+            for alias in ("load", "load_cache", "load_mem"):
+                if alias in self.base_activity:
+                    return self.base_activity[alias]
+        return self.base_activity.get("alu", 0.0) * 0.5
+
+
+def _unit_bit_slice(stage: str,
+                    registers: Sequence[str]) -> np.ndarray:
+    """Indices of the given registers' bits inside the stage's vector."""
+    offsets = stage_register_offsets(stage)
+    indices = []
+    for register in registers:
+        start, width = offsets[register]
+        indices.extend(range(start, start + width))
+    return np.asarray(indices, dtype=int)
+
+
+# Approximate die placement of each block (cm from die center).
+_UNIT_POSITIONS: Dict[str, Tuple[float, float]] = {
+    "fetch_logic": (-0.8, 0.6), "predictor": (-1.0, 0.2),
+    "decoder": (-0.4, -0.3), "regfile_read": (0.0, 0.5),
+    "imm_gen": (-0.2, -0.7), "alu": (0.4, 0.1),
+    "muldiv_unit": (0.7, -0.4), "ex_control": (0.3, 0.7),
+    "dbus": (0.9, 0.4), "cache_array": (1.1, -0.2),
+    "regfile_write": (0.1, 0.9),
+}
+
+
+GEOMETRY_SEED = 777
+"""Seed of the geometry generator shared by all boards.
+
+Unit phases and polarities come from the physical layout of the processor
+design and the probe orientation — identical across boards carrying the
+same logic design (this is why the paper's MISO coefficients M transfer
+across boards, §V-C).  Technology-dependent quantities (gains, per-bit
+weights, ringing shape) come from the board's own generator.
+"""
+
+
+def build_units(rng: np.random.Generator,
+                gain_scale: float = 1.0,
+                weight_scale: float = 1.0,
+                kernel_t0: float = 0.25,
+                kernel_theta: float = 4.0,
+                phase_spread: float = 0.3,
+                shape_spread: float = 0.04) -> Tuple[EmUnit, ...]:
+    """Instantiate all EM units for one physical device.
+
+    ``rng`` determines the technology personality (per-bit weights, unit
+    gains, kernel detuning); phases/polarities are drawn from the shared
+    geometry generator so different boards of the same design differ in
+    *amplitudes* but not in source *geometry*.
+    """
+    geometry = np.random.default_rng(GEOMETRY_SEED)
+    units = []
+    for name in UNIT_NAMES:
+        stage, registers, mean_weight = _UNIT_TAPS[name]
+        indices = _unit_bit_slice(stage, registers)
+        # log-normal per-bit weights: a few bits dominate, as on real dies
+        weights = mean_weight * weight_scale * \
+            rng.lognormal(mean=0.0, sigma=1.2, size=indices.size)
+        base = {label: value * gain_scale * rng.uniform(0.9, 1.1)
+                for label, value in _BASE_ACTIVITY[name].items()}
+        phase = phase_spread * geometry.uniform(-np.pi / 2, np.pi / 2)
+        polarity = 1.0 if geometry.random() < 0.8 else -1.0
+        kernel = DampedSineKernel(
+            t0=kernel_t0 * (1.0 + shape_spread * rng.uniform(-1, 1)),
+            theta=kernel_theta * (1.0 + shape_spread * rng.uniform(-1, 1)),
+            phase=phase)
+        units.append(EmUnit(
+            name=name, stage=stage, bit_indices=indices,
+            bit_weights=weights, base_activity=base, kernel=kernel,
+            position=_UNIT_POSITIONS[name],
+            polarity=polarity))
+    return tuple(units)

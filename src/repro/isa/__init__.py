@@ -1,0 +1,36 @@
+"""RV32IM instruction-set substrate: spec, codec, assembler, programs."""
+
+from .assembler import Assembler, AssemblerError, assemble
+from .disassembler import disassemble, disassemble_word
+from .encoding import decode, encode, sign_extend, to_unsigned
+from .instructions import NOP, Instruction
+from .program import DATA_BASE, TEXT_BASE, Program, store_words
+from .registers import NUM_REGISTERS, XLEN, register_index, register_name
+from .spec import ALL_MNEMONICS, OPCODES, InstrClass, InstrFormat, OpSpec
+
+__all__ = [
+    "ALL_MNEMONICS",
+    "Assembler",
+    "AssemblerError",
+    "DATA_BASE",
+    "Instruction",
+    "InstrClass",
+    "InstrFormat",
+    "NOP",
+    "NUM_REGISTERS",
+    "OPCODES",
+    "OpSpec",
+    "Program",
+    "TEXT_BASE",
+    "XLEN",
+    "assemble",
+    "decode",
+    "disassemble",
+    "disassemble_word",
+    "encode",
+    "register_index",
+    "register_name",
+    "sign_extend",
+    "store_words",
+    "to_unsigned",
+]

@@ -1,0 +1,422 @@
+"""Two-pass RV32IM assembler.
+
+Turns assembly text into a :class:`~repro.isa.program.Program`.  Supports:
+
+* all RV32IM mnemonics from :mod:`repro.isa.spec`;
+* labels (``loop:``) and branch/jump targets by label;
+* the usual pseudo-instructions (``nop``, ``li``, ``la``, ``mv``, ``j``,
+  ``jr``, ``ret``, ``call``, ``not``, ``neg``, ``seqz``, ``snez``,
+  ``beqz``/``bnez``/``blez``/``bgez``/``bltz``/``bgtz``, ``bgt``/``ble``/
+  ``bgtu``/``bleu``);
+* ``%hi()`` / ``%lo()`` relocation operators;
+* data directives: ``.text``, ``.data``, ``.org`` (data only), ``.word``,
+  ``.half``, ``.byte``, ``.space``, ``.align``, ``.equ``.
+
+The text segment is contiguous from ``TEXT_BASE``; data items land in the
+sparse byte image of the produced program.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .encoding import sign_extend
+from .instructions import Instruction
+from .program import DATA_BASE, TEXT_BASE, Program
+from .registers import register_index
+from .spec import OPCODES, InstrClass, InstrFormat
+
+
+class AssemblerError(ValueError):
+    """Raised for any syntactic or semantic assembly error."""
+
+    def __init__(self, message: str, line_number: int = 0, line: str = ""):
+        location = f" (line {line_number}: {line.strip()!r})" if line else ""
+        super().__init__(message + location)
+        self.line_number = line_number
+
+
+_COMMENT_RE = re.compile(r"[#;].*$")
+_LABEL_RE = re.compile(r"^\s*([A-Za-z_.$][\w.$]*)\s*:")
+_MEM_OPERAND_RE = re.compile(r"^(.*)\(\s*([\w.$]+)\s*\)$")
+_HI_LO_RE = re.compile(r"^%(hi|lo)\(\s*(.+?)\s*\)$")
+
+
+@dataclass
+class _Item:
+    """One assembled unit: a machine instruction or a span of data bytes."""
+
+    kind: str                      # "instr" or "data"
+    address: int = 0
+    emit: Optional[Callable[["Assembler", int], Instruction]] = None
+    data_bytes: bytes = b""
+    line_number: int = 0
+    line: str = ""
+
+
+@dataclass
+class Assembler:
+    """Two-pass assembler; use :func:`assemble` for the one-shot API."""
+
+    data_base: int = DATA_BASE
+    symbols: Dict[str, int] = field(default_factory=dict)
+
+    def assemble(self, source: str, name: str = "program") -> Program:
+        """Assemble ``source`` text into a :class:`Program`."""
+        items, data_image = self._pass1(source)
+        instructions: List[Instruction] = []
+        for item in items:
+            if item.kind != "instr":
+                continue
+            assert item.emit is not None
+            try:
+                instructions.append(item.emit(self, item.address))
+            except AssemblerError:
+                raise
+            except ValueError as exc:
+                raise AssemblerError(str(exc), item.line_number,
+                                     item.line) from exc
+        return Program(instructions=instructions, data=data_image,
+                       symbols=dict(self.symbols), name=name)
+
+    # ------------------------------------------------------------------
+    # pass 1: tokenize, expand pseudos, lay out addresses, record labels
+    # ------------------------------------------------------------------
+    def _pass1(self, source: str) -> Tuple[List[_Item], Dict[int, int]]:
+        items: List[_Item] = []
+        data_image: Dict[int, int] = {}
+        segment = "text"
+        text_address = TEXT_BASE
+        data_address = self.data_base
+
+        for line_number, raw_line in enumerate(source.splitlines(), start=1):
+            line = _COMMENT_RE.sub("", raw_line).strip()
+            while True:
+                match = _LABEL_RE.match(line)
+                if not match:
+                    break
+                label = match.group(1)
+                if label in self.symbols:
+                    raise AssemblerError(f"duplicate label {label!r}",
+                                         line_number, raw_line)
+                self.symbols[label] = (text_address if segment == "text"
+                                       else data_address)
+                line = line[match.end():].strip()
+            if not line:
+                continue
+
+            mnemonic, _, rest = line.partition(" ")
+            mnemonic = mnemonic.lower()
+            operands = [op.strip() for op in rest.split(",")] if rest.strip() \
+                else []
+
+            if mnemonic.startswith("."):
+                segment, text_address, data_address = self._directive(
+                    mnemonic, operands, segment, text_address, data_address,
+                    data_image, line_number, raw_line)
+                continue
+
+            if segment != "text":
+                raise AssemblerError("instruction outside .text segment",
+                                     line_number, raw_line)
+            for emitter in self._expand(mnemonic, operands, line_number,
+                                        raw_line):
+                items.append(_Item(kind="instr", address=text_address,
+                                   emit=emitter, line_number=line_number,
+                                   line=raw_line))
+                text_address += 4
+        return items, data_image
+
+    def _directive(self, directive, operands, segment, text_address,
+                   data_address, data_image, line_number, raw_line):
+        """Handle one assembler directive; returns updated layout state."""
+        if directive == ".text":
+            return "text", text_address, data_address
+        if directive == ".data":
+            return "data", text_address, data_address
+        if directive == ".equ":
+            if len(operands) != 2:
+                raise AssemblerError(".equ needs name, value", line_number,
+                                     raw_line)
+            self.symbols[operands[0]] = self._int_literal(operands[1],
+                                                          line_number,
+                                                          raw_line)
+            return segment, text_address, data_address
+        if directive == ".org":
+            if segment == "text":
+                raise AssemblerError(".org not allowed in .text (code must "
+                                     "be contiguous)", line_number, raw_line)
+            return segment, text_address, self._int_literal(
+                operands[0], line_number, raw_line)
+        if directive == ".align":
+            amount = 1 << self._int_literal(operands[0], line_number,
+                                            raw_line)
+            if segment == "data":
+                data_address = (data_address + amount - 1) & ~(amount - 1)
+            else:
+                if text_address % amount:
+                    raise AssemblerError(".align would pad .text",
+                                         line_number, raw_line)
+            return segment, text_address, data_address
+        if directive == ".space":
+            if segment != "data":
+                raise AssemblerError(".space only valid in .data",
+                                     line_number, raw_line)
+            count = self._int_literal(operands[0], line_number, raw_line)
+            for offset in range(count):
+                data_image[data_address + offset] = 0
+            return segment, text_address, data_address + count
+        if directive in (".word", ".half", ".byte"):
+            if segment != "data":
+                raise AssemblerError(f"{directive} only valid in .data",
+                                     line_number, raw_line)
+            width = {".word": 4, ".half": 2, ".byte": 1}[directive]
+            for operand in operands:
+                value = self._int_literal(operand, line_number, raw_line)
+                value &= (1 << (8 * width)) - 1
+                for byte_index in range(width):
+                    data_image[data_address + byte_index] = \
+                        (value >> (8 * byte_index)) & 0xFF
+                data_address += width
+            return segment, text_address, data_address
+        raise AssemblerError(f"unknown directive {directive!r}", line_number,
+                             raw_line)
+
+    # ------------------------------------------------------------------
+    # operand / expression evaluation
+    # ------------------------------------------------------------------
+    def _int_literal(self, text: str, line_number: int, line: str) -> int:
+        """Evaluate an expression that must not contain forward references."""
+        try:
+            return self._eval(text, pc=None)
+        except KeyError as exc:
+            raise AssemblerError(f"undefined symbol {exc.args[0]!r} in "
+                                 f"constant expression", line_number,
+                                 line) from exc
+
+    def _eval(self, text: str, pc: Optional[int]) -> int:
+        """Evaluate ``int``, ``symbol``, ``symbol±int``, ``%hi/%lo(expr)``."""
+        text = text.strip()
+        match = _HI_LO_RE.match(text)
+        if match:
+            value = self._eval(match.group(2), pc) & 0xFFFFFFFF
+            if match.group(1) == "hi":
+                # %hi compensates for the sign-extension of the paired %lo.
+                return ((value + 0x800) >> 12) & 0xFFFFF
+            return sign_extend(value, 12)
+        for operator in ("+", "-"):
+            index = text.rfind(operator)
+            if index > 0 and text[index - 1] != "(":
+                left, right = text[:index], text[index + 1:]
+                if left.strip() and right.strip():
+                    try:
+                        lhs = self._eval(left, pc)
+                        rhs = self._eval(right, pc)
+                    except KeyError:
+                        continue
+                    return lhs + rhs if operator == "+" else lhs - rhs
+        try:
+            return int(text, 0)
+        except ValueError:
+            pass
+        if text in self.symbols:
+            return self.symbols[text]
+        raise KeyError(text)
+
+    def _resolve(self, text: str, pc: int, line_number: int,
+                 line: str) -> int:
+        try:
+            return self._eval(text, pc)
+        except KeyError as exc:
+            raise AssemblerError(f"undefined symbol {exc.args[0]!r}",
+                                 line_number, line) from exc
+
+    def _reg(self, text: str, line_number: int, line: str) -> int:
+        try:
+            return register_index(text)
+        except ValueError as exc:
+            raise AssemblerError(str(exc), line_number, line) from exc
+
+    # ------------------------------------------------------------------
+    # pseudo-instruction expansion; returns a list of deferred emitters
+    # ------------------------------------------------------------------
+    def _expand(self, mnemonic, operands, line_number, line):
+        """Expand one source line into 1+ deferred instruction emitters.
+
+        Emitters are callables ``(assembler, address) -> Instruction`` so
+        that label references can be resolved in pass 2.
+        """
+        def err(message: str) -> AssemblerError:
+            return AssemblerError(message, line_number, line)
+
+        def need(count: int) -> None:
+            if len(operands) != count:
+                raise err(f"{mnemonic} expects {count} operands, got "
+                          f"{len(operands)}")
+
+        reg = lambda text: self._reg(text, line_number, line)  # noqa: E731
+
+        def value_of(text):
+            def emit_value(assembler, pc):
+                return assembler._resolve(text, pc, line_number, line)
+            return emit_value
+
+        def simple(name, **fields):
+            """Emitter for an instruction with pre-resolved fields."""
+            def emit(assembler, pc):
+                resolved = {key: (val(assembler, pc) if callable(val)
+                                  else val)
+                            for key, val in fields.items()}
+                return Instruction(name, **resolved)
+            return [emit]
+
+        def pc_relative(name, rd_or_rs, rs2, target_text):
+            """Emitter for branches/jumps.
+
+            A label (or symbol expression) names an absolute target and
+            is turned into ``target - pc``; a bare integer literal is the
+            pc-relative offset itself (matching disassembly output).
+            """
+            def emit(assembler, pc):
+                try:
+                    offset = int(target_text.strip(), 0)
+                except ValueError:
+                    target = assembler._resolve(target_text, pc,
+                                                line_number, line)
+                    offset = target - pc
+                return Instruction(name, rd=rd_or_rs if name == "jal" else 0,
+                                   rs1=0 if name == "jal" else rd_or_rs,
+                                   rs2=rs2, imm=offset)
+            return [emit]
+
+        # ---- pseudo-instructions -------------------------------------
+        if mnemonic == "nop":
+            need(0)
+            return simple("addi", rd=0, rs1=0, imm=0)
+        if mnemonic == "mv":
+            need(2)
+            return simple("addi", rd=reg(operands[0]), rs1=reg(operands[1]),
+                          imm=0)
+        if mnemonic == "not":
+            need(2)
+            return simple("xori", rd=reg(operands[0]), rs1=reg(operands[1]),
+                          imm=-1)
+        if mnemonic == "neg":
+            need(2)
+            return simple("sub", rd=reg(operands[0]), rs1=0,
+                          rs2=reg(operands[1]))
+        if mnemonic == "seqz":
+            need(2)
+            return simple("sltiu", rd=reg(operands[0]), rs1=reg(operands[1]),
+                          imm=1)
+        if mnemonic == "snez":
+            need(2)
+            return simple("sltu", rd=reg(operands[0]), rs1=0,
+                          rs2=reg(operands[1]))
+        if mnemonic == "li":
+            need(2)
+            rd = reg(operands[0])
+            value = self._int_literal(operands[1], line_number, line)
+            value = sign_extend(value, 32)
+            if -(1 << 11) <= value < (1 << 11):
+                return simple("addi", rd=rd, rs1=0, imm=value)
+            upper = ((value + 0x800) >> 12) & 0xFFFFF
+            lower = sign_extend(value, 12)
+            return (simple("lui", rd=rd, imm=upper) +
+                    simple("addi", rd=rd, rs1=rd, imm=lower))
+        if mnemonic == "la":
+            need(2)
+            rd = reg(operands[0])
+            symbol = operands[1]
+            return (simple("lui", rd=rd,
+                           imm=value_of(f"%hi({symbol})")) +
+                    simple("addi", rd=rd, rs1=rd,
+                           imm=value_of(f"%lo({symbol})")))
+        if mnemonic == "j":
+            need(1)
+            return pc_relative("jal", 0, 0, operands[0])
+        if mnemonic == "call":
+            need(1)
+            return pc_relative("jal", 1, 0, operands[0])
+        if mnemonic == "jr":
+            need(1)
+            return simple("jalr", rd=0, rs1=reg(operands[0]), imm=0)
+        if mnemonic == "ret":
+            need(0)
+            return simple("jalr", rd=0, rs1=1, imm=0)
+        zero_branches = {"beqz": ("beq", False), "bnez": ("bne", False),
+                         "bltz": ("blt", False), "bgez": ("bge", False),
+                         "blez": ("bge", True), "bgtz": ("blt", True)}
+        if mnemonic in zero_branches:
+            need(2)
+            name, swapped = zero_branches[mnemonic]
+            rs = reg(operands[0])
+            rs1, rs2 = (0, rs) if swapped else (rs, 0)
+            return pc_relative(name, rs1, rs2, operands[1])
+        swapped_branches = {"bgt": "blt", "ble": "bge", "bgtu": "bltu",
+                            "bleu": "bgeu"}
+        if mnemonic in swapped_branches:
+            need(3)
+            return pc_relative(swapped_branches[mnemonic], reg(operands[1]),
+                               reg(operands[0]), operands[2])
+
+        # ---- real instructions ---------------------------------------
+        if mnemonic not in OPCODES:
+            raise err(f"unknown mnemonic {mnemonic!r}")
+        spec = OPCODES[mnemonic]
+
+        if mnemonic in ("ecall", "ebreak", "fence"):
+            return simple(mnemonic)
+        if spec.fmt is InstrFormat.R:
+            need(3)
+            return simple(mnemonic, rd=reg(operands[0]), rs1=reg(operands[1]),
+                          rs2=reg(operands[2]))
+        if mnemonic in ("slli", "srli", "srai"):
+            need(3)
+            return simple(mnemonic, rd=reg(operands[0]),
+                          rs1=reg(operands[1]),
+                          imm=value_of(operands[2]))
+        if spec.cls is InstrClass.LOAD or mnemonic == "jalr":
+            if len(operands) == 2:
+                match = _MEM_OPERAND_RE.match(operands[1])
+                if not match:
+                    raise err(f"{mnemonic} expects 'rd, imm(rs1)'")
+                offset_text, base_reg = match.groups()
+                return simple(mnemonic, rd=reg(operands[0]),
+                              rs1=reg(base_reg),
+                              imm=value_of(offset_text or "0"))
+            need(3)  # jalr rd, rs1, imm form
+            return simple(mnemonic, rd=reg(operands[0]),
+                          rs1=reg(operands[1]), imm=value_of(operands[2]))
+        if spec.cls is InstrClass.STORE:
+            need(2)
+            match = _MEM_OPERAND_RE.match(operands[1])
+            if not match:
+                raise err(f"{mnemonic} expects 'rs2, imm(rs1)'")
+            offset_text, base_reg = match.groups()
+            return simple(mnemonic, rs2=reg(operands[0]), rs1=reg(base_reg),
+                          imm=value_of(offset_text or "0"))
+        if spec.fmt is InstrFormat.I:
+            need(3)
+            return simple(mnemonic, rd=reg(operands[0]),
+                          rs1=reg(operands[1]), imm=value_of(operands[2]))
+        if spec.fmt is InstrFormat.B:
+            need(3)
+            return pc_relative(mnemonic, reg(operands[0]), reg(operands[1]),
+                               operands[2])
+        if spec.fmt is InstrFormat.U:
+            need(2)
+            return simple(mnemonic, rd=reg(operands[0]),
+                          imm=value_of(operands[1]))
+        if spec.fmt is InstrFormat.J:
+            need(2)
+            return pc_relative(mnemonic, reg(operands[0]), 0, operands[1])
+        raise err(f"unhandled mnemonic {mnemonic!r}")
+
+
+def assemble(source: str, name: str = "program",
+             data_base: int = DATA_BASE) -> Program:
+    """Assemble RV32IM source text into a :class:`Program`."""
+    return Assembler(data_base=data_base).assemble(source, name=name)

@@ -1,0 +1,21 @@
+"""Disassembly of RV32IM machine words back to assembly text."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .instructions import Instruction
+
+
+def disassemble_word(word: int) -> str:
+    """Disassemble one 32-bit machine word to canonical assembly text."""
+    return Instruction.decode(word).to_asm()
+
+
+def disassemble(words: Iterable[int], base_address: int = 0) -> List[str]:
+    """Disassemble a sequence of words to ``address: text`` lines."""
+    lines = []
+    for index, word in enumerate(words):
+        address = base_address + 4 * index
+        lines.append(f"{address:08x}: {disassemble_word(word)}")
+    return lines

@@ -1,0 +1,158 @@
+"""The :class:`Instruction` value object used throughout the simulator.
+
+An :class:`Instruction` is a decoded, semantic view of one RV32IM operation:
+mnemonic plus register operands and immediate.  It knows which registers it
+reads and writes, which functional units it exercises, and how to render
+itself back to assembly text — everything the pipeline, the EM model, and the
+workload generators need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from . import encoding
+from .registers import register_name
+from .spec import OPCODES, InstrClass, InstrFormat, OpSpec
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded RV32IM instruction."""
+
+    name: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    def __post_init__(self) -> None:
+        if self.name not in OPCODES:
+            raise ValueError(f"unknown mnemonic: {self.name!r}")
+
+    # ------------------------------------------------------------------
+    # static properties
+    # ------------------------------------------------------------------
+    @property
+    def spec(self) -> OpSpec:
+        """The static :class:`OpSpec` for this mnemonic."""
+        return OPCODES[self.name]
+
+    @property
+    def fmt(self) -> InstrFormat:
+        """Encoding format."""
+        return self.spec.fmt
+
+    @property
+    def cls(self) -> InstrClass:
+        """Coarse semantic class (ALU / SHIFT / MULDIV / ...)."""
+        return self.spec.cls
+
+    @property
+    def is_load(self) -> bool:
+        return self.cls is InstrClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.cls is InstrClass.STORE
+
+    @property
+    def is_branch(self) -> bool:
+        return self.cls is InstrClass.BRANCH
+
+    @property
+    def is_jump(self) -> bool:
+        return self.cls is InstrClass.JUMP
+
+    @property
+    def is_muldiv(self) -> bool:
+        return self.cls is InstrClass.MULDIV
+
+    @property
+    def is_control_flow(self) -> bool:
+        """True for any instruction that may redirect the PC."""
+        return self.is_branch or self.is_jump
+
+    @property
+    def is_nop(self) -> bool:
+        """True for the canonical NOP encoding ``addi x0, x0, 0``."""
+        return (self.name == "addi" and self.rd == 0 and self.rs1 == 0
+                and self.imm == 0)
+
+    # ------------------------------------------------------------------
+    # register usage
+    # ------------------------------------------------------------------
+    @property
+    def source_registers(self) -> Tuple[int, ...]:
+        """Architectural registers read by this instruction (may repeat)."""
+        fmt = self.fmt
+        if fmt is InstrFormat.R:
+            return (self.rs1, self.rs2)
+        if fmt in (InstrFormat.S, InstrFormat.B):
+            return (self.rs1, self.rs2)
+        if fmt is InstrFormat.I:
+            if self.name in ("ecall", "ebreak", "fence"):
+                return ()
+            return (self.rs1,)
+        return ()  # U and J formats read no registers
+
+    @property
+    def destination_register(self) -> Optional[int]:
+        """Architectural register written, or None (x0 counts as None)."""
+        fmt = self.fmt
+        if fmt in (InstrFormat.S, InstrFormat.B):
+            return None
+        if self.name in ("ecall", "ebreak", "fence"):
+            return None
+        return self.rd if self.rd != 0 else None
+
+    # ------------------------------------------------------------------
+    # encoding / rendering
+    # ------------------------------------------------------------------
+    def encode(self) -> int:
+        """Encode to the 32-bit machine word."""
+        return encoding.encode(self.name, rd=self.rd, rs1=self.rs1,
+                               rs2=self.rs2, imm=self.imm)
+
+    @classmethod
+    def decode(cls, word: int) -> "Instruction":
+        """Decode a 32-bit machine word."""
+        fields = encoding.decode(word)
+        return cls(**fields)
+
+    def to_asm(self) -> str:
+        """Render canonical assembly text (ABI register names)."""
+        rd, rs1, rs2 = (register_name(self.rd), register_name(self.rs1),
+                        register_name(self.rs2))
+        fmt = self.fmt
+        if self.is_nop:
+            return "nop"
+        if self.name in ("ecall", "ebreak"):
+            return self.name
+        if self.name == "fence":
+            return "fence"
+        if fmt is InstrFormat.R:
+            return f"{self.name} {rd}, {rs1}, {rs2}"
+        if self.name in ("slli", "srli", "srai"):
+            return f"{self.name} {rd}, {rs1}, {self.imm}"
+        if self.is_load or self.name == "jalr":
+            return f"{self.name} {rd}, {self.imm}({rs1})"
+        if fmt is InstrFormat.I:
+            return f"{self.name} {rd}, {rs1}, {self.imm}"
+        if fmt is InstrFormat.S:
+            return f"{self.name} {rs2}, {self.imm}({rs1})"
+        if fmt is InstrFormat.B:
+            return f"{self.name} {rs1}, {rs2}, {self.imm}"
+        if fmt is InstrFormat.U:
+            return f"{self.name} {rd}, {self.imm}"
+        if fmt is InstrFormat.J:
+            return f"{self.name} {rd}, {self.imm}"
+        raise AssertionError(f"unhandled format {fmt}")
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_asm()
+
+
+NOP = Instruction("addi", rd=0, rs1=0, imm=0)
+"""The canonical RISC-V NOP (``addi x0, x0, 0``), the paper's baseline."""

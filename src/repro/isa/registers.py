@@ -1,0 +1,47 @@
+"""RISC-V integer register file naming.
+
+Maps between architectural register indices (``x0`` .. ``x31``) and the
+standard RISC-V ABI mnemonics (``zero``, ``ra``, ``sp`` ...).  The assembler
+accepts either spelling; the rest of the package uses plain integer indices.
+"""
+
+from __future__ import annotations
+
+NUM_REGISTERS = 32
+"""Number of architectural integer registers in RV32I."""
+
+XLEN = 32
+"""Register width in bits for the RV32 base ISA."""
+
+ABI_NAMES = (
+    "zero", "ra", "sp", "gp", "tp",
+    "t0", "t1", "t2",
+    "s0", "s1",
+    "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+    "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+    "t3", "t4", "t5", "t6",
+)
+"""ABI mnemonic for each register index, ``ABI_NAMES[i]`` names ``x{i}``."""
+
+_NAME_TO_INDEX = {name: index for index, name in enumerate(ABI_NAMES)}
+_NAME_TO_INDEX.update({f"x{index}": index for index in range(NUM_REGISTERS)})
+_NAME_TO_INDEX["fp"] = 8  # frame pointer aliases s0
+
+
+def register_index(name: str) -> int:
+    """Return the architectural index for a register name.
+
+    Accepts ``x``-prefixed names (``x7``), ABI names (``t2``) and the ``fp``
+    alias.  Raises :class:`ValueError` for anything else.
+    """
+    key = name.strip().lower()
+    if key not in _NAME_TO_INDEX:
+        raise ValueError(f"unknown register name: {name!r}")
+    return _NAME_TO_INDEX[key]
+
+
+def register_name(index: int) -> str:
+    """Return the canonical ABI name for register ``index``."""
+    if not 0 <= index < NUM_REGISTERS:
+        raise ValueError(f"register index out of range: {index}")
+    return ABI_NAMES[index]

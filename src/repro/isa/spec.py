@@ -1,0 +1,215 @@
+"""RV32IM instruction-set specification tables.
+
+This module is the single source of truth for the instruction set implemented
+by the reproduction: the RV32I base integer ISA plus the "M"
+multiply/divide extension, exactly the ISA of the processor EMSim was
+evaluated on (HPCA 2020, section II-A).
+
+Each mnemonic maps to an :class:`OpSpec` describing its encoding format,
+opcode/funct fields and a coarse semantic class used throughout the
+microarchitecture and the signal model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+class InstrFormat(enum.Enum):
+    """The six RV32 encoding formats (RISC-V spec v2.2, section 2.2)."""
+
+    R = "R"
+    I = "I"  # noqa: E741 - canonical RISC-V format name
+    S = "S"
+    B = "B"
+    U = "U"
+    J = "J"
+
+
+class InstrClass(enum.Enum):
+    """Coarse semantic class of an instruction.
+
+    These labels mirror the behavioural families the paper's clustering
+    recovers in Table I (ALU, Shift, MUL/DIV, Load, Store, Branch; the
+    seventh "Cache" cluster is the cache-hit variant of loads and is a
+    *dynamic* property, so it does not appear here).
+    """
+
+    ALU = "alu"
+    SHIFT = "shift"
+    MULDIV = "muldiv"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    JUMP = "jump"
+    SYSTEM = "system"
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static encoding/semantic description of one mnemonic."""
+
+    name: str
+    fmt: InstrFormat
+    opcode: int
+    funct3: int
+    funct7: int
+    cls: InstrClass
+
+    @property
+    def is_memory(self) -> bool:
+        """True for instructions that access the data memory hierarchy."""
+        return self.cls in (InstrClass.LOAD, InstrClass.STORE)
+
+
+# Major opcodes (RISC-V spec v2.2, table 19.1).
+OP_LUI = 0b0110111
+OP_AUIPC = 0b0010111
+OP_JAL = 0b1101111
+OP_JALR = 0b1100111
+OP_BRANCH = 0b1100011
+OP_LOAD = 0b0000011
+OP_STORE = 0b0100011
+OP_IMM = 0b0010011
+OP_REG = 0b0110011
+OP_FENCE = 0b0001111
+OP_SYSTEM = 0b1110011
+
+
+def _spec(name, fmt, opcode, funct3=0, funct7=0, cls=InstrClass.ALU):
+    return OpSpec(name=name, fmt=fmt, opcode=opcode, funct3=funct3,
+                  funct7=funct7, cls=cls)
+
+
+OPCODES: Dict[str, OpSpec] = {
+    spec.name: spec
+    for spec in [
+        # --- RV32I upper-immediate / jumps -------------------------------
+        _spec("lui", InstrFormat.U, OP_LUI, cls=InstrClass.ALU),
+        _spec("auipc", InstrFormat.U, OP_AUIPC, cls=InstrClass.ALU),
+        _spec("jal", InstrFormat.J, OP_JAL, cls=InstrClass.JUMP),
+        _spec("jalr", InstrFormat.I, OP_JALR, funct3=0b000,
+              cls=InstrClass.JUMP),
+        # --- RV32I conditional branches ----------------------------------
+        _spec("beq", InstrFormat.B, OP_BRANCH, funct3=0b000,
+              cls=InstrClass.BRANCH),
+        _spec("bne", InstrFormat.B, OP_BRANCH, funct3=0b001,
+              cls=InstrClass.BRANCH),
+        _spec("blt", InstrFormat.B, OP_BRANCH, funct3=0b100,
+              cls=InstrClass.BRANCH),
+        _spec("bge", InstrFormat.B, OP_BRANCH, funct3=0b101,
+              cls=InstrClass.BRANCH),
+        _spec("bltu", InstrFormat.B, OP_BRANCH, funct3=0b110,
+              cls=InstrClass.BRANCH),
+        _spec("bgeu", InstrFormat.B, OP_BRANCH, funct3=0b111,
+              cls=InstrClass.BRANCH),
+        # --- RV32I loads / stores ----------------------------------------
+        _spec("lb", InstrFormat.I, OP_LOAD, funct3=0b000,
+              cls=InstrClass.LOAD),
+        _spec("lh", InstrFormat.I, OP_LOAD, funct3=0b001,
+              cls=InstrClass.LOAD),
+        _spec("lw", InstrFormat.I, OP_LOAD, funct3=0b010,
+              cls=InstrClass.LOAD),
+        _spec("lbu", InstrFormat.I, OP_LOAD, funct3=0b100,
+              cls=InstrClass.LOAD),
+        _spec("lhu", InstrFormat.I, OP_LOAD, funct3=0b101,
+              cls=InstrClass.LOAD),
+        _spec("sb", InstrFormat.S, OP_STORE, funct3=0b000,
+              cls=InstrClass.STORE),
+        _spec("sh", InstrFormat.S, OP_STORE, funct3=0b001,
+              cls=InstrClass.STORE),
+        _spec("sw", InstrFormat.S, OP_STORE, funct3=0b010,
+              cls=InstrClass.STORE),
+        # --- RV32I register-immediate ALU --------------------------------
+        _spec("addi", InstrFormat.I, OP_IMM, funct3=0b000),
+        _spec("slti", InstrFormat.I, OP_IMM, funct3=0b010),
+        _spec("sltiu", InstrFormat.I, OP_IMM, funct3=0b011),
+        _spec("xori", InstrFormat.I, OP_IMM, funct3=0b100),
+        _spec("ori", InstrFormat.I, OP_IMM, funct3=0b110),
+        _spec("andi", InstrFormat.I, OP_IMM, funct3=0b111),
+        _spec("slli", InstrFormat.I, OP_IMM, funct3=0b001, funct7=0b0000000,
+              cls=InstrClass.SHIFT),
+        _spec("srli", InstrFormat.I, OP_IMM, funct3=0b101, funct7=0b0000000,
+              cls=InstrClass.SHIFT),
+        _spec("srai", InstrFormat.I, OP_IMM, funct3=0b101, funct7=0b0100000,
+              cls=InstrClass.SHIFT),
+        # --- RV32I register-register ALU ---------------------------------
+        _spec("add", InstrFormat.R, OP_REG, funct3=0b000, funct7=0b0000000),
+        _spec("sub", InstrFormat.R, OP_REG, funct3=0b000, funct7=0b0100000),
+        _spec("sll", InstrFormat.R, OP_REG, funct3=0b001, funct7=0b0000000,
+              cls=InstrClass.SHIFT),
+        _spec("slt", InstrFormat.R, OP_REG, funct3=0b010, funct7=0b0000000),
+        _spec("sltu", InstrFormat.R, OP_REG, funct3=0b011, funct7=0b0000000),
+        _spec("xor", InstrFormat.R, OP_REG, funct3=0b100, funct7=0b0000000),
+        _spec("srl", InstrFormat.R, OP_REG, funct3=0b101, funct7=0b0000000,
+              cls=InstrClass.SHIFT),
+        _spec("sra", InstrFormat.R, OP_REG, funct3=0b101, funct7=0b0100000,
+              cls=InstrClass.SHIFT),
+        _spec("or", InstrFormat.R, OP_REG, funct3=0b110, funct7=0b0000000),
+        _spec("and", InstrFormat.R, OP_REG, funct3=0b111, funct7=0b0000000),
+        # --- M extension --------------------------------------------------
+        _spec("mul", InstrFormat.R, OP_REG, funct3=0b000, funct7=0b0000001,
+              cls=InstrClass.MULDIV),
+        _spec("mulh", InstrFormat.R, OP_REG, funct3=0b001, funct7=0b0000001,
+              cls=InstrClass.MULDIV),
+        _spec("mulhsu", InstrFormat.R, OP_REG, funct3=0b010, funct7=0b0000001,
+              cls=InstrClass.MULDIV),
+        _spec("mulhu", InstrFormat.R, OP_REG, funct3=0b011, funct7=0b0000001,
+              cls=InstrClass.MULDIV),
+        _spec("div", InstrFormat.R, OP_REG, funct3=0b100, funct7=0b0000001,
+              cls=InstrClass.MULDIV),
+        _spec("divu", InstrFormat.R, OP_REG, funct3=0b101, funct7=0b0000001,
+              cls=InstrClass.MULDIV),
+        _spec("rem", InstrFormat.R, OP_REG, funct3=0b110, funct7=0b0000001,
+              cls=InstrClass.MULDIV),
+        _spec("remu", InstrFormat.R, OP_REG, funct3=0b111, funct7=0b0000001,
+              cls=InstrClass.MULDIV),
+        # --- misc ----------------------------------------------------------
+        _spec("fence", InstrFormat.I, OP_FENCE, funct3=0b000,
+              cls=InstrClass.SYSTEM),
+        _spec("ecall", InstrFormat.I, OP_SYSTEM, funct3=0b000,
+              cls=InstrClass.SYSTEM),
+        _spec("ebreak", InstrFormat.I, OP_SYSTEM, funct3=0b000,
+              cls=InstrClass.SYSTEM),
+    ]
+}
+"""Mnemonic -> :class:`OpSpec` for all of RV32IM."""
+
+
+# Decoding index: (opcode, funct3, funct7-or-None) -> mnemonic.  Entries with
+# ``None`` funct keys match any value of that field.
+_DECODE_INDEX: Dict[Tuple[int, int, int], str] = {}
+for _name, _s in OPCODES.items():
+    if _name in ("ecall", "ebreak"):
+        continue  # disambiguated by imm, handled in decode()
+    if _s.fmt is InstrFormat.R or _name in ("slli", "srli", "srai"):
+        _DECODE_INDEX[(_s.opcode, _s.funct3, _s.funct7)] = _name
+    else:
+        _DECODE_INDEX[(_s.opcode, _s.funct3, -1)] = _name
+
+
+def lookup_decode(opcode: int, funct3: int, funct7: int, imm: int = 0) -> str:
+    """Return the mnemonic for a decoded field triple.
+
+    ``imm`` disambiguates ``ecall`` (imm=0) from ``ebreak`` (imm=1).
+    Raises :class:`ValueError` if the fields name no RV32IM instruction.
+    """
+    if opcode == OP_SYSTEM and funct3 == 0:
+        return "ebreak" if (imm & 0xFFF) == 1 else "ecall"
+    for key in ((opcode, funct3, funct7), (opcode, funct3, -1)):
+        if key in _DECODE_INDEX:
+            return _DECODE_INDEX[key]
+    # U/J formats carry no funct3.
+    for name in ("lui", "auipc", "jal"):
+        if OPCODES[name].opcode == opcode:
+            return name
+    raise ValueError(
+        f"cannot decode opcode={opcode:#09b} funct3={funct3:#05b} "
+        f"funct7={funct7:#09b}"
+    )
+
+
+ALL_MNEMONICS = tuple(sorted(OPCODES))
+"""All supported mnemonics, sorted, for enumeration in tests/benchmarks."""

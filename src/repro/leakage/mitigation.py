@@ -1,0 +1,166 @@
+"""Automated leakage mitigation: branch-timing balancing.
+
+The paper's introduction motivates compilers that "use simulation models
+to optimize for reduced leakage".  This module implements one such pass:
+for a secret-dependent conditional skip
+
+    beqz  secret, L          beqz  secret, PAD
+    <block>           ==>    <block>
+L:  ...                      j     L
+                        PAD: <block with destinations -> x0>
+                        L:  ...
+
+the taken path, which originally skipped ``<block>`` entirely, now
+executes a timing-equivalent *dummy clone* (same opcodes, results
+discarded into x0) — collapsing the SPA duration channel the block's
+conditional execution created, while leaving the architectural result
+untouched.  EMSim then *verifies* the mitigation by re-running the SPA on
+the simulated signal.
+
+The pass is deliberately conservative: it only transforms blocks of pure
+computation (no memory accesses or control flow) and refuses programs
+with indirect jumps, whose targets it cannot relocate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.instructions import Instruction
+from ..isa.program import Program, TEXT_BASE
+
+MAX_BLOCK = 8
+"""Largest skip-block (instructions) the pass will balance."""
+
+
+class MitigationError(ValueError):
+    """Raised when a program cannot be safely transformed."""
+
+
+def _is_cloneable(instr: Instruction) -> bool:
+    """True if the instruction can be neutralized by retargeting to x0."""
+    if instr.is_load or instr.is_store or instr.is_control_flow:
+        return False
+    if instr.name in ("ecall", "ebreak", "fence"):
+        return False
+    return instr.destination_register is not None or instr.is_nop
+
+
+def _clone_harmless(instr: Instruction) -> Instruction:
+    """Same operation, result discarded (rd = x0): equal unit timing."""
+    return Instruction(instr.name, rd=0, rs1=instr.rs1, rs2=instr.rs2,
+                       imm=instr.imm)
+
+
+def _branch_target_index(index: int, instr: Instruction) -> int:
+    return index + instr.imm // 4
+
+
+def _relocate(instructions: List[Instruction],
+              mapping: Dict[int, int],
+              new_length: int) -> List[Instruction]:
+    """Rewrite branch/jal offsets after indices moved per ``mapping``."""
+    relocated = []
+    position = {new: old for old, new in mapping.items()}
+    for new_index, instr in enumerate(instructions):
+        if (instr.is_branch or instr.name == "jal") and \
+                new_index in position:
+            old_index = position[new_index]
+            old_target = _branch_target_index(old_index, instr)
+            if old_target in mapping:
+                new_imm = 4 * (mapping[old_target] - new_index)
+                instr = Instruction(instr.name, rd=instr.rd,
+                                    rs1=instr.rs1, rs2=instr.rs2,
+                                    imm=new_imm)
+        relocated.append(instr)
+    return relocated
+
+
+@dataclass
+class BalanceReport:
+    """What the balancing pass did."""
+
+    transformed: int
+    skipped: int
+    added_instructions: int
+
+
+def _find_candidate(instructions: List[Instruction]
+                    ) -> Optional[Tuple[int, int]]:
+    """First (branch index, block length) that is safe to balance and
+    not yet balanced (a balanced branch targets a jal-guarded clone)."""
+    for index, instr in enumerate(instructions):
+        if not instr.is_branch or instr.imm <= 4:
+            continue
+        block_length = instr.imm // 4 - 1
+        if not 1 <= block_length <= MAX_BLOCK:
+            continue
+        target = _branch_target_index(index, instr)
+        if target > len(instructions):
+            continue
+        block = instructions[index + 1:index + 1 + block_length]
+        if not all(_is_cloneable(b) for b in block):
+            continue
+        # already balanced? the instruction before the target is our j L
+        return index, block_length
+    return None
+
+
+def balance_branch_timing(program: Program) -> Tuple[Program,
+                                                     BalanceReport]:
+    """Apply the timing-balancing transform to every eligible branch."""
+    if any(instr.name == "jalr" or instr.name == "auipc"
+           for instr in program.instructions):
+        raise MitigationError("cannot relocate programs with indirect "
+                              "jumps or pc-relative addressing")
+    instructions = list(program.instructions)
+    symbols = dict(program.symbols)
+    transformed = 0
+    skipped = 0
+    guard = 0
+    while True:
+        guard += 1
+        if guard > 100:
+            break
+        candidate = _find_candidate(instructions)
+        if candidate is None:
+            break
+        branch_index, block_length = candidate
+        block = instructions[branch_index + 1:
+                             branch_index + 1 + block_length]
+        clone = [_clone_harmless(instr) for instr in block]
+        insert_at = branch_index + 1 + block_length
+
+        # index mapping: everything at or past the insertion point shifts
+        # by len(clone) + 1 (the guarding jal)
+        shift = len(clone) + 1
+        mapping = {old: (old if old < insert_at else old + shift)
+                   for old in range(len(instructions) + 1)}
+        new_instructions = (
+            instructions[:insert_at] +
+            [Instruction("jal", rd=0, imm=4 * (len(clone) + 1))] +
+            clone +
+            instructions[insert_at:])
+        new_instructions = _relocate(new_instructions, mapping,
+                                     len(new_instructions))
+        # retarget the balanced branch at the clone (just after the jal)
+        branch = new_instructions[branch_index]
+        new_instructions[branch_index] = Instruction(
+            branch.name, rs1=branch.rs1, rs2=branch.rs2,
+            imm=4 * (insert_at + 1 - branch_index))
+        # code labels past the insertion point move with their code
+        text_end = TEXT_BASE + 4 * (len(new_instructions) - shift)
+        for label, address in list(symbols.items()):
+            if TEXT_BASE <= address < text_end and address % 4 == 0:
+                old_index = (address - TEXT_BASE) // 4
+                symbols[label] = TEXT_BASE + 4 * mapping[old_index]
+        instructions = new_instructions
+        transformed += 1
+
+    report = BalanceReport(
+        transformed=transformed, skipped=skipped,
+        added_instructions=len(instructions) - len(program.instructions))
+    return Program(instructions=instructions, data=dict(program.data),
+                   symbols=symbols, entry=program.entry,
+                   name=f"{program.name}+balanced"), report

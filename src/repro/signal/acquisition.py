@@ -1,0 +1,94 @@
+"""Signal-acquisition front end: the oscilloscope model.
+
+Stands in for the paper's Keysight DSOS804A (10 GSa/s) capturing the probe
+output.  Models the practical imperfections the modulo operation has to
+undo: a sampling grid asynchronous to the device clock, random trigger
+offsets per repetition, additive white Gaussian noise, and finite ADC
+resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ScopeConfig:
+    """Acquisition parameters, normalized to the device clock.
+
+    ``samples_per_cycle`` plays the role of f_s / f_clk (e.g. the paper's
+    10 GSa/s at 50 MHz is 200 samples per cycle); a non-integer value (via
+    ``rate_offset``) makes the grid asynchronous so that folded repetitions
+    interleave, exactly the situation the modulo operation exploits.
+    """
+
+    samples_per_cycle: float = 20.0
+    rate_offset: float = 1.37e-3     # fractional sample-rate mismatch
+    noise_rms: float = 0.05          # AWGN std-dev (signal units)
+    adc_bits: int = 10
+    adc_range: float = 4.0           # full scale, signal units
+    trigger_jitter_cycles: float = 0.4
+
+    @property
+    def effective_rate(self) -> float:
+        """Actual samples per cycle including the rate mismatch."""
+        return self.samples_per_cycle * (1.0 + self.rate_offset)
+
+
+class Oscilloscope:
+    """Samples a continuous signal ``y(t)`` (t in device clock cycles)."""
+
+    def __init__(self, config: ScopeConfig,
+                 rng: np.random.Generator):
+        self.config = config
+        self.rng = rng
+
+    def _quantize(self, samples: np.ndarray) -> np.ndarray:
+        config = self.config
+        step = config.adc_range / (2 ** config.adc_bits)
+        clipped = np.clip(samples, -config.adc_range / 2,
+                          config.adc_range / 2 - step)
+        return np.round(clipped / step) * step
+
+    def capture(self, continuous: Callable[[np.ndarray], np.ndarray],
+                duration_cycles: float,
+                start_cycle: float = 0.0) -> Tuple[np.ndarray, np.ndarray]:
+        """Capture one trace; returns ``(sample_times, samples)``.
+
+        ``sample_times`` are in device-clock cycles, offset by trigger
+        jitter; samples include AWGN and quantization.
+        """
+        config = self.config
+        count = int(duration_cycles * config.effective_rate)
+        jitter = self.rng.uniform(0, config.trigger_jitter_cycles)
+        times = start_cycle + jitter + \
+            np.arange(count) / config.effective_rate
+        samples = continuous(times)
+        samples = samples + self.rng.normal(0.0, config.noise_rms,
+                                            size=samples.shape)
+        return times, self._quantize(samples)
+
+    def capture_repetitions(self,
+                            continuous: Callable[[np.ndarray], np.ndarray],
+                            duration_cycles: float,
+                            repetitions: int) -> Tuple[np.ndarray,
+                                                       np.ndarray]:
+        """Capture ``repetitions`` back-to-back traces of the same
+        sequence, concatenated on a common absolute time axis.
+
+        This is the paper's "executed several times (1000 times in our
+        measurements)" collection loop.
+        """
+        all_times = []
+        all_samples = []
+        for repetition in range(repetitions):
+            times, samples = self.capture(
+                continuous, duration_cycles,
+                start_cycle=0.0)
+            # the sequence restarts every duration_cycles; fold later
+            all_times.append(times + repetition * duration_cycles)
+            all_samples.append(samples)
+        return np.concatenate(all_times), np.concatenate(all_samples)

@@ -1,0 +1,102 @@
+"""Per-cycle reconstruction kernels (paper §II-C, Eq. 2-6).
+
+A kernel is the continuous shape one clock cycle's worth of switching
+activity contributes to the analog EM signal.  The paper compares three:
+
+* zero-order hold (``rect``, Eq. 2) — activity spread evenly over the cycle;
+* decaying exponential (Eq. 3/4) — switching bursts right after the clock
+  edge;
+* damped sinusoid (Eq. 5/6) — adds the oscillation observed in real
+  signals; this is the kernel EMSim uses.
+
+Time is normalized to clock cycles: ``tau = t / T_clk``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """Base class for reconstruction kernels.
+
+    ``support_cycles`` bounds where the kernel is non-negligible, so
+    convolution can be truncated.
+    """
+
+    support_cycles: float = 3.0
+
+    def evaluate(self, tau: np.ndarray) -> np.ndarray:
+        """Kernel value at normalized time offsets ``tau`` (cycles)."""
+        raise NotImplementedError
+
+    def sampled(self, samples_per_cycle: int) -> np.ndarray:
+        """Discrete impulse response over the support, one entry per
+        sample at ``samples_per_cycle`` resolution."""
+        length = int(np.ceil(self.support_cycles * samples_per_cycle))
+        tau = np.arange(length) / samples_per_cycle
+        return self.evaluate(tau)
+
+
+@dataclass(frozen=True)
+class RectKernel(Kernel):
+    """Zero-order hold: rect((t - T/2) / T), Eq. 2."""
+
+    duration: float = 1.0
+    support_cycles: float = 1.0
+
+    def evaluate(self, tau: np.ndarray) -> np.ndarray:
+        tau = np.asarray(tau, dtype=float)
+        return np.where((tau >= 0.0) & (tau < self.duration), 1.0, 0.0)
+
+
+@dataclass(frozen=True)
+class ExpKernel(Kernel):
+    """Decaying exponential e^(-theta * tau) * u(tau), Eq. 3."""
+
+    theta: float = 4.0
+    support_cycles: float = 3.0
+
+    def evaluate(self, tau: np.ndarray) -> np.ndarray:
+        tau = np.asarray(tau, dtype=float)
+        return np.where(tau >= 0.0, np.exp(-self.theta * tau), 0.0)
+
+
+@dataclass(frozen=True)
+class DampedSineKernel(Kernel):
+    """sin(2*pi*tau / t0 + phase) * e^(-theta * tau) * u(tau), Eq. 5.
+
+    ``t0`` is the oscillation period in cycles (the paper's T0 / T_clk);
+    ``theta`` the per-cycle decay rate.  ``phase`` (radians) models the
+    wave's polarization/phase at the probe — EM sources with different
+    phases superpose constructively or destructively (paper §III-C).
+    """
+
+    t0: float = 0.25
+    theta: float = 4.0
+    phase: float = 0.0
+    support_cycles: float = 3.0
+
+    def evaluate(self, tau: np.ndarray) -> np.ndarray:
+        tau = np.asarray(tau, dtype=float)
+        value = np.sin(2.0 * np.pi * tau / self.t0 + self.phase) * \
+            np.exp(-self.theta * tau)
+        return np.where(tau >= 0.0, value, 0.0)
+
+
+DEFAULT_KERNEL = DampedSineKernel()
+"""The kernel EMSim uses by default (the paper's best, Fig. 1)."""
+
+
+def make_kernel(kind: str, **params) -> Kernel:
+    """Factory: ``rect`` | ``exp`` | ``damped-sine``."""
+    if kind == "rect":
+        return RectKernel(**params)
+    if kind == "exp":
+        return ExpKernel(**params)
+    if kind == "damped-sine":
+        return DampedSineKernel(**params)
+    raise ValueError(f"unknown kernel kind: {kind!r}")

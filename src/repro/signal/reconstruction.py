@@ -1,0 +1,102 @@
+"""Analog-signal reconstruction from per-cycle amplitudes, and the inverse.
+
+Forward direction (Eq. 6 of the paper): given per-cycle amplitudes ``x[n]``
+and a kernel ``f``, synthesize ``y(t) = sum_n x[n] f(t - n)``.
+
+Inverse direction (used during model *training*): given a captured waveform,
+estimate the per-cycle amplitudes by least-squares deconvolution against the
+kernel — this is how the paper extracts per-stage amplitudes ``A`` and
+measured activity factors ``alpha = A_meas / A_simul`` from reference
+signals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import spsolve
+
+from .kernels import Kernel
+
+
+def reconstruct(amplitudes: np.ndarray, kernel: Kernel,
+                samples_per_cycle: int) -> np.ndarray:
+    """Synthesize the waveform for per-cycle amplitudes (Eq. 6).
+
+    Returns ``len(amplitudes) * samples_per_cycle`` samples on the uniform
+    grid; kernel energy beyond the last cycle is truncated.
+    """
+    amplitudes = np.asarray(amplitudes, dtype=float)
+    impulse_train = np.zeros(len(amplitudes) * samples_per_cycle)
+    impulse_train[::samples_per_cycle] = amplitudes
+    response = kernel.sampled(samples_per_cycle)
+    signal = np.convolve(impulse_train, response)
+    return signal[:len(impulse_train)]
+
+
+def reconstruct_at(amplitudes: np.ndarray, kernel: Kernel,
+                   times: np.ndarray) -> np.ndarray:
+    """Evaluate ``y(t) = sum_n x[n] f(t - n)`` at arbitrary times.
+
+    ``times`` are in cycle units; used by the scope model, whose sampling
+    grid is asynchronous to the device clock.
+    """
+    amplitudes = np.asarray(amplitudes, dtype=float)
+    times = np.asarray(times, dtype=float)
+    result = np.zeros_like(times)
+    support = int(np.ceil(kernel.support_cycles))
+    base_cycle = np.floor(times).astype(int)
+    for lag in range(support + 1):
+        cycle = base_cycle - lag
+        valid = (cycle >= 0) & (cycle < len(amplitudes))
+        tau = times[valid] - cycle[valid]
+        result[valid] += amplitudes[cycle[valid]] * kernel.evaluate(tau)
+    return result
+
+
+def _kernel_operator(num_cycles: int, kernel: Kernel,
+                     samples_per_cycle: int) -> sparse.csr_matrix:
+    """Sparse linear operator mapping per-cycle amplitudes to samples."""
+    response = kernel.sampled(samples_per_cycle)
+    num_samples = num_cycles * samples_per_cycle
+    rows, cols, vals = [], [], []
+    for cycle in range(num_cycles):
+        start = cycle * samples_per_cycle
+        stop = min(start + len(response), num_samples)
+        count = stop - start
+        rows.extend(range(start, stop))
+        cols.extend([cycle] * count)
+        vals.extend(response[:count])
+    return sparse.csr_matrix((vals, (rows, cols)),
+                             shape=(num_samples, num_cycles))
+
+
+def estimate_cycle_amplitudes(signal: np.ndarray, kernel: Kernel,
+                              samples_per_cycle: int,
+                              ridge: float = 1e-9) -> np.ndarray:
+    """Least-squares estimate of per-cycle amplitudes from a waveform.
+
+    Solves ``min_x ||K x - y||^2 + ridge ||x||^2`` where ``K`` is the
+    kernel convolution operator.  The tiny ridge keeps the system
+    well-posed for kernels with weak tails.
+    """
+    signal = np.asarray(signal, dtype=float)
+    if len(signal) % samples_per_cycle:
+        raise ValueError("signal length must be a multiple of "
+                         "samples_per_cycle")
+    num_cycles = len(signal) // samples_per_cycle
+    operator = _kernel_operator(num_cycles, kernel, samples_per_cycle)
+    gram = (operator.T @ operator +
+            ridge * sparse.identity(num_cycles, format="csr"))
+    rhs = operator.T @ signal
+    return np.asarray(spsolve(gram.tocsc(), rhs)).ravel()
+
+
+def peak_amplitudes(signal: np.ndarray,
+                    samples_per_cycle: int) -> np.ndarray:
+    """Cheap alternative estimator: max |signal| within each cycle."""
+    signal = np.asarray(signal, dtype=float)
+    num_cycles = len(signal) // samples_per_cycle
+    segments = signal[:num_cycles * samples_per_cycle].reshape(
+        num_cycles, samples_per_cycle)
+    return np.abs(segments).max(axis=1)

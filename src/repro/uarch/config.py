@@ -1,0 +1,69 @@
+"""Configuration of the simulated in-order RV32IM core.
+
+Defaults mirror the processor EMSim was validated on (HPCA 2020, §II-A):
+five pipeline stages, a 2-level branch predictor with a BTB, a 32-entry
+register file and a 32 KB data cache where a hit costs one extra cycle and a
+miss costs two further cycles.  Every latency is a parameter so the paper's
+"these delays can be changed, e.g. to study their effect on the side-channel
+signal" knob is available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of the data cache."""
+
+    size_bytes: int = 32 * 1024
+    line_bytes: int = 32
+    ways: int = 2
+    hit_extra_cycles: int = 1    # "cache-hit takes one extra cycle"
+    miss_extra_cycles: int = 2   # "reading from memory takes extra 2 cycles"
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.line_bytes * self.ways):
+            raise ValueError("cache size must be a multiple of line*ways")
+        if self.line_bytes & (self.line_bytes - 1):
+            raise ValueError("line size must be a power of two")
+
+    @property
+    def num_sets(self) -> int:
+        """Number of cache sets."""
+        return self.size_bytes // (self.line_bytes * self.ways)
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Full microarchitectural configuration of the 5-stage core."""
+
+    # Functional-unit latencies (total cycles spent in Execute).
+    mul_latency: int = 3
+    div_latency: int = 8
+
+    # Data-path features.
+    forwarding: bool = True
+
+    # Branch handling: misprediction is detected at the end of Execute,
+    # "2 cycles in our design", flushing two younger instructions.
+    predictor: str = "two-level"  # one of: "not-taken", "two-level", "gshare"
+    predictor_history_bits: int = 4
+    predictor_table_bits: int = 10
+    btb_entries: int = 64
+
+    cache: CacheConfig = field(default_factory=CacheConfig)
+
+    # Simulation guard rail.
+    max_cycles: int = 2_000_000
+
+    def __post_init__(self) -> None:
+        if self.mul_latency < 1 or self.div_latency < 1:
+            raise ValueError("functional-unit latencies must be >= 1")
+        if self.predictor not in ("not-taken", "two-level", "gshare"):
+            raise ValueError(f"unknown predictor kind: {self.predictor!r}")
+
+
+DEFAULT_CONFIG = CoreConfig()
+"""The paper's baseline core configuration."""

@@ -1,0 +1,65 @@
+"""Microarchitectural event records emitted by the pipeline.
+
+These are the events whose EM signatures section IV of the paper models
+explicitly: pipeline stalls, cache misses, and branch mispredictions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class StallCause(enum.Enum):
+    """Why a stage could not advance this cycle."""
+
+    RAW_HAZARD = "raw-hazard"
+    LOAD_USE = "load-use"
+    EX_BUSY = "ex-busy"          # multi-cycle MUL/DIV occupying Execute
+    MEM_BUSY = "mem-busy"        # cache/memory access occupying Memory
+    CACHE_MISS = "cache-miss"
+
+
+@dataclass(frozen=True)
+class StallEvent:
+    """One stage-cycle spent stalled."""
+
+    cycle: int
+    stage: str
+    cause: StallCause
+    seq: Optional[int] = None    # dynamic sequence number of the stalled uop
+
+
+@dataclass(frozen=True)
+class CacheEvent:
+    """One data-cache access."""
+
+    cycle: int
+    address: int
+    is_store: bool
+    hit: bool
+    seq: int
+
+
+@dataclass(frozen=True)
+class BranchEvent:
+    """A resolved conditional branch or indirect jump."""
+
+    cycle: int
+    pc: int
+    taken: bool
+    target: int
+    predicted_taken: bool
+    predicted_target: Optional[int]
+    mispredicted: bool
+    seq: int
+
+
+@dataclass(frozen=True)
+class FlushEvent:
+    """Pipeline flush after a misprediction (bubbles injected)."""
+
+    cycle: int
+    flushed: int                 # number of younger instructions squashed
+    redirect_pc: int

@@ -1,0 +1,221 @@
+"""Architectural semantics of RV32IM instructions.
+
+Pure functions implementing the user-level semantics (ALU operations,
+multiply/divide, branch conditions, effective addresses) on unsigned 32-bit
+integers, plus :class:`GoldenSimulator`, a simple sequential interpreter used
+as the reference model when testing the pipelined core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.encoding import sign_extend, to_unsigned
+from ..isa.instructions import Instruction
+from ..isa.program import TEXT_BASE, Program
+
+MASK32 = 0xFFFFFFFF
+
+
+def _signed(value: int) -> int:
+    return sign_extend(value, 32)
+
+
+def alu_result(instr: Instruction, a: int, b: int, pc: int) -> int:
+    """Compute the primary 32-bit result of an instruction.
+
+    ``a``/``b`` are the unsigned register operand values.  For loads/stores
+    the result is the effective address; for jumps it is the link value.
+    """
+    name = instr.name
+    imm = instr.imm
+    if name in ("add", "addi"):
+        rhs = b if name == "add" else imm
+        return (a + rhs) & MASK32
+    if name == "sub":
+        return (a - b) & MASK32
+    if name in ("and", "andi"):
+        return a & (b if name == "and" else to_unsigned(imm))
+    if name in ("or", "ori"):
+        return a | (b if name == "or" else to_unsigned(imm))
+    if name in ("xor", "xori"):
+        return a ^ (b if name == "xor" else to_unsigned(imm))
+    if name in ("slt", "slti"):
+        rhs = _signed(b) if name == "slt" else imm
+        return 1 if _signed(a) < rhs else 0
+    if name in ("sltu", "sltiu"):
+        rhs = b if name == "sltu" else to_unsigned(imm)
+        return 1 if a < rhs else 0
+    if name in ("sll", "slli"):
+        shamt = (b if name == "sll" else imm) & 0x1F
+        return (a << shamt) & MASK32
+    if name in ("srl", "srli"):
+        shamt = (b if name == "srl" else imm) & 0x1F
+        return a >> shamt
+    if name in ("sra", "srai"):
+        shamt = (b if name == "sra" else imm) & 0x1F
+        return (_signed(a) >> shamt) & MASK32
+    if name == "lui":
+        return (imm << 12) & MASK32
+    if name == "auipc":
+        return (pc + (imm << 12)) & MASK32
+    if name in ("jal", "jalr"):
+        return (pc + 4) & MASK32
+    if instr.is_load or instr.is_store:
+        return (a + imm) & MASK32
+    if instr.is_muldiv:
+        return muldiv_result(name, a, b)
+    if instr.is_branch:
+        return (pc + imm) & MASK32  # branch target (condition is separate)
+    if name in ("fence", "ecall", "ebreak"):
+        return 0
+    raise ValueError(f"no ALU semantics for {name}")
+
+
+def muldiv_result(name: str, a: int, b: int) -> int:
+    """RV32M multiply/divide semantics (including divide-by-zero rules)."""
+    sa, sb = _signed(a), _signed(b)
+    if name == "mul":
+        return (sa * sb) & MASK32
+    if name == "mulh":
+        return ((sa * sb) >> 32) & MASK32
+    if name == "mulhsu":
+        return ((sa * b) >> 32) & MASK32
+    if name == "mulhu":
+        return ((a * b) >> 32) & MASK32
+    if name == "div":
+        if b == 0:
+            return MASK32  # -1
+        if sa == -(1 << 31) and sb == -1:
+            return 1 << 31  # overflow: returns dividend
+        quotient = abs(sa) // abs(sb)
+        return (-quotient if (sa < 0) != (sb < 0) else quotient) & MASK32
+    if name == "divu":
+        return MASK32 if b == 0 else (a // b) & MASK32
+    if name == "rem":
+        if b == 0:
+            return a
+        if sa == -(1 << 31) and sb == -1:
+            return 0
+        remainder = abs(sa) % abs(sb)
+        return (-remainder if sa < 0 else remainder) & MASK32
+    if name == "remu":
+        return a if b == 0 else (a % b) & MASK32
+    raise ValueError(f"not a muldiv instruction: {name}")
+
+
+def branch_taken(instr: Instruction, a: int, b: int) -> bool:
+    """Evaluate a conditional branch on unsigned operand values."""
+    name = instr.name
+    if name == "beq":
+        return a == b
+    if name == "bne":
+        return a != b
+    if name == "blt":
+        return _signed(a) < _signed(b)
+    if name == "bge":
+        return _signed(a) >= _signed(b)
+    if name == "bltu":
+        return a < b
+    if name == "bgeu":
+        return a >= b
+    raise ValueError(f"not a branch: {name}")
+
+
+def load_width(name: str) -> Tuple[int, bool]:
+    """Return (bytes, signed) for a load mnemonic."""
+    return {"lb": (1, True), "lbu": (1, False), "lh": (2, True),
+            "lhu": (2, False), "lw": (4, True)}[name]
+
+
+def store_width(name: str) -> int:
+    """Return the byte width of a store mnemonic."""
+    return {"sb": 1, "sh": 2, "sw": 4}[name]
+
+
+def control_flow_target(instr: Instruction, pc: int, rs1_val: int) -> int:
+    """Compute the taken target of a branch or jump at ``pc``."""
+    if instr.name == "jalr":
+        return (rs1_val + instr.imm) & ~1 & MASK32
+    return (pc + instr.imm) & MASK32
+
+
+# ----------------------------------------------------------------------
+# Golden (sequential, non-pipelined) reference interpreter
+# ----------------------------------------------------------------------
+@dataclass
+class GoldenSimulator:
+    """Sequential RV32IM interpreter used as the pipeline's reference model.
+
+    Executes one instruction per step with no timing model; used in tests to
+    check that the pipelined core computes identical architectural state.
+    """
+
+    program: Program
+    registers: List[int] = field(default_factory=lambda: [0] * 32)
+    memory: Dict[int, int] = field(default_factory=dict)
+    pc: int = TEXT_BASE
+    halted: bool = False
+    retired: int = 0
+
+    def __post_init__(self) -> None:
+        self.memory.update(self.program.data)
+        self.pc = self.program.entry
+
+    # -- memory helpers -------------------------------------------------
+    def _read(self, address: int, nbytes: int, signed: bool) -> int:
+        value = 0
+        for index in range(nbytes):
+            value |= self.memory.get((address + index) & MASK32, 0) << \
+                (8 * index)
+        return (sign_extend(value, 8 * nbytes) & MASK32) if signed else value
+
+    def _write(self, address: int, value: int, nbytes: int) -> None:
+        for index in range(nbytes):
+            self.memory[(address + index) & MASK32] = \
+                (value >> (8 * index)) & 0xFF
+
+    # -- execution ------------------------------------------------------
+    def step(self) -> Optional[Instruction]:
+        """Execute one instruction; returns it, or None when halted."""
+        if self.halted:
+            return None
+        instr = self.program.instruction_at(self.pc)
+        if instr is None:
+            self.halted = True
+            return None
+        next_pc = (self.pc + 4) & MASK32
+        a = self.registers[instr.rs1]
+        b = self.registers[instr.rs2]
+        result = None
+
+        if instr.name in ("ecall", "ebreak"):
+            self.halted = True
+        elif instr.is_load:
+            nbytes, signed = load_width(instr.name)
+            result = self._read((a + instr.imm) & MASK32, nbytes, signed)
+        elif instr.is_store:
+            self._write((a + instr.imm) & MASK32, b,
+                        store_width(instr.name))
+        elif instr.is_branch:
+            if branch_taken(instr, a, b):
+                next_pc = control_flow_target(instr, self.pc, a)
+        elif instr.is_jump:
+            result = (self.pc + 4) & MASK32
+            next_pc = control_flow_target(instr, self.pc, a)
+        elif instr.name != "fence":
+            result = alu_result(instr, a, b, self.pc)
+
+        if result is not None and instr.rd != 0:
+            self.registers[instr.rd] = result
+        self.pc = next_pc
+        self.retired += 1
+        return instr
+
+    def run(self, max_steps: int = 1_000_000) -> int:
+        """Run to halt (or ``max_steps``); returns instructions retired."""
+        for _ in range(max_steps):
+            if self.step() is None:
+                break
+        return self.retired

@@ -1,0 +1,122 @@
+"""Bit-level model of the pipeline's hardware latches.
+
+EMSim's activity-factor regression (Eq. 8) runs over "a vector of transition
+bits across all the existing registers in the targeted pipeline stage".  This
+module fixes the register schema of each stage — names and bit widths — and
+tracks the latch values cycle by cycle so transition vectors can be derived.
+
+The schema below corresponds to a textbook 5-stage implementation of the
+paper's core: fetch PC/instruction word, decode operand/immediate latches,
+execute ALU input/output and multiply unit registers, memory address/data
+buses, and the writeback port.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..isa.instructions import NOP, Instruction
+
+STAGES: Tuple[str, ...] = ("F", "D", "E", "M", "W")
+"""Pipeline stage labels: Fetch, Decode, Execute, Memory, Writeback."""
+
+STAGE_REGISTERS: Dict[str, Tuple[Tuple[str, int], ...]] = {
+    "F": (("pc", 32), ("fetch_instr", 32), ("pred_state", 4)),
+    "D": (("dec_instr", 32), ("rs1_val", 32), ("rs2_val", 32),
+          ("dec_imm", 32), ("dec_ctrl", 12)),
+    "E": (("alu_a", 32), ("alu_b", 32), ("alu_out", 32),
+          ("muldiv_lo", 32), ("muldiv_hi", 32), ("ex_ctrl", 8)),
+    "M": (("mem_addr", 32), ("mem_wdata", 32), ("mem_rdata", 32),
+          ("mem_ctrl", 8)),
+    "W": (("wb_data", 32), ("wb_rd", 5), ("wb_ctrl", 2)),
+}
+"""Per-stage latch schema: ordered (name, bit width) pairs."""
+
+
+def stage_bit_count(stage: str) -> int:
+    """Total latch bits tracked for ``stage``."""
+    return sum(width for _, width in STAGE_REGISTERS[stage])
+
+
+def stage_register_offsets(stage: str) -> Dict[str, Tuple[int, int]]:
+    """Map register name -> (bit offset, width) inside the stage vector."""
+    offsets = {}
+    position = 0
+    for name, width in STAGE_REGISTERS[stage]:
+        offsets[name] = (position, width)
+        position += width
+    return offsets
+
+
+TOTAL_BITS = sum(stage_bit_count(stage) for stage in STAGES)
+"""Latch bits tracked across the whole pipeline."""
+
+
+def control_word(instr: Instruction, bits: int) -> int:
+    """Instruction-dependent control-signal pattern, ``bits`` wide.
+
+    Derived from the static opcode fields so that different instruction
+    kinds toggle different control wires, as decode logic would.
+    """
+    spec = instr.spec
+    raw = spec.opcode | (spec.funct3 << 7) | (spec.funct7 << 10)
+    raw ^= raw >> 7
+    return raw & ((1 << bits) - 1)
+
+
+NOP_CONTROL = control_word(NOP, 12)
+"""Decode control pattern of the canonical NOP / pipeline bubble."""
+
+
+class HardwareLatches:
+    """Current value of every tracked latch, with per-stage update guards.
+
+    The pipeline calls :meth:`write` for stages that do real work in a
+    cycle; stalled stages are simply not written, so their latches hold
+    their values and contribute no transitions — exactly the physical
+    behaviour the paper attributes to stalls ("due to this preservation no
+    bit-flips occur in the stalled stages", §IV).
+    """
+
+    def __init__(self) -> None:
+        self._values: Dict[str, Dict[str, int]] = {
+            stage: {name: 0 for name, _ in STAGE_REGISTERS[stage]}
+            for stage in STAGES
+        }
+
+    def write(self, stage: str, **updates: int) -> None:
+        """Set latch values for ``stage``; values are masked to width."""
+        registers = self._values[stage]
+        for name, value in updates.items():
+            width = dict(STAGE_REGISTERS[stage])[name]
+            registers[name] = value & ((1 << width) - 1)
+
+    def write_bubble(self, stage: str) -> None:
+        """Drive a stage's latches to the pipeline-bubble (NOP) pattern."""
+        pattern = bubble_pattern(stage)
+        self._values[stage].update(pattern)
+
+    def values(self, stage: str) -> Tuple[int, ...]:
+        """Current latch values of ``stage`` in schema order."""
+        registers = self._values[stage]
+        return tuple(registers[name] for name, _ in STAGE_REGISTERS[stage])
+
+    def value(self, stage: str, name: str) -> int:
+        """Current value of one named latch."""
+        return self._values[stage][name]
+
+
+def bubble_pattern(stage: str) -> Dict[str, int]:
+    """Latch values representing a NOP bubble occupying ``stage``."""
+    if stage == "F":
+        return {"fetch_instr": NOP.encode(), "pred_state": 0}
+    if stage == "D":
+        return {"dec_instr": NOP.encode(), "rs1_val": 0, "rs2_val": 0,
+                "dec_imm": 0, "dec_ctrl": NOP_CONTROL}
+    if stage == "E":
+        return {"alu_a": 0, "alu_b": 0, "alu_out": 0, "ex_ctrl": 0}
+    if stage == "M":
+        return {"mem_addr": 0, "mem_wdata": 0, "mem_ctrl": 0}
+    if stage == "W":
+        return {"wb_data": 0, "wb_rd": 0, "wb_ctrl": 0}
+    raise ValueError(f"unknown stage {stage!r}")

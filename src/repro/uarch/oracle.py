@@ -1,0 +1,54 @@
+"""Oracle control-flow replay for the no-misprediction ablation.
+
+EMSim's misprediction modeling is ablated (paper Fig. 7) by simulating a
+core whose fetch never goes down a wrong path: a pre-execution with the
+golden interpreter records every control transfer, and the pipeline replays
+those outcomes as perfect fetch-time predictions.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Deque, Dict, Optional, Tuple
+
+from ..isa.program import Program
+from .isa_exec import GoldenSimulator
+
+
+class OracleOutcomes:
+    """Per-PC FIFO of (taken, target) outcomes for control instructions."""
+
+    def __init__(self) -> None:
+        self._queues: Dict[int, Deque[Tuple[bool, int]]] = \
+            defaultdict(deque)
+
+    def push(self, pc: int, taken: bool, target: int) -> None:
+        """Record one dynamic outcome of the control instruction at pc."""
+        self._queues[pc].append((taken, target))
+
+    def pop(self, pc: int) -> Optional[Tuple[bool, int]]:
+        """Consume the next outcome for ``pc`` (None if exhausted)."""
+        queue = self._queues.get(pc)
+        if not queue:
+            return None
+        return queue.popleft()
+
+    def __len__(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+
+def collect_oracle(program: Program,
+                   max_steps: int = 1_000_000) -> OracleOutcomes:
+    """Pre-execute ``program`` and record every control-flow outcome."""
+    golden = GoldenSimulator(program)
+    outcomes = OracleOutcomes()
+    for _ in range(max_steps):
+        pc_before = golden.pc
+        instr = golden.step()
+        if instr is None:
+            break
+        if instr.is_branch or instr.is_jump:
+            taken = golden.pc != ((pc_before + 4) & 0xFFFFFFFF) or \
+                instr.is_jump
+            outcomes.push(pc_before, taken, golden.pc)
+    return outcomes

@@ -1,0 +1,217 @@
+"""Per-cycle microarchitectural activity trace.
+
+The pipeline produces an :class:`ActivityTrace`: for every cycle and every
+stage, (a) *who* occupies the stage — a real instruction, a bubble, or a
+stalled instruction — and (b) the values of all of the stage's hardware
+latches.  From the latter the trace derives the *transition-bit vectors*
+that both the ground-truth hardware emitter and EMSim's activity-factor
+regression (Eq. 8 of the paper) consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..isa.instructions import Instruction
+from .events import BranchEvent, CacheEvent, FlushEvent, StallEvent
+from .latches import STAGE_REGISTERS, STAGES, stage_bit_count
+
+OCC_INSTR = "instr"
+OCC_BUBBLE = "bubble"
+OCC_STALL = "stall"
+
+EM_CLASSES = ("nop", "stall", "alu", "shift", "muldiv", "muldiv_final",
+              "load", "load_cache", "load_mem", "store", "branch", "jump",
+              "system")
+"""All behavioural class labels :meth:`StageOccupancy.em_class` can yield."""
+
+
+@dataclass(frozen=True)
+class StageOccupancy:
+    """What one stage was doing during one cycle."""
+
+    kind: str                      # OCC_INSTR / OCC_BUBBLE / OCC_STALL
+    instr: Optional[Instruction] = None
+    seq: Optional[int] = None      # dynamic instruction number
+    dyn: Optional[str] = None      # dynamic tag, e.g. "hit"/"miss" for loads
+
+    @property
+    def active(self) -> bool:
+        """True when the stage is doing real instruction work."""
+        return self.kind == OCC_INSTR
+
+    def em_class(self) -> str:
+        """Behavioural class label used by the EM models.
+
+        One of: ``nop``, ``stall``, ``alu``, ``shift``, ``muldiv``,
+        ``load`` (``load_cache``/``load_mem`` once the cache outcome is
+        known), ``store``, ``branch``, ``jump``, ``system``.  NOPs and
+        bubbles share a label: a bubble *is* an injected NOP (paper §IV).
+        """
+        if self.kind == OCC_BUBBLE:
+            return "nop"
+        if self.kind == OCC_STALL:
+            return "stall"
+        assert self.instr is not None
+        if self.instr.is_nop:
+            return "nop"
+        if self.instr.is_load:
+            if self.dyn == "hit":
+                return "load_cache"
+            if self.dyn == "miss":
+                return "load_mem"
+            return "load"
+        if self.dyn == "final":
+            # last Execute cycle of a multi-cycle unit: the result
+            # registers switch, a distinct (larger) signature
+            return self.instr.cls.value + "_final"
+        return self.instr.cls.value
+
+    def label(self) -> str:
+        """Readable label, e.g. ``lw+miss``, ``bubble``, ``add(stall)``."""
+        if self.kind == OCC_BUBBLE:
+            return "bubble"
+        name = self.instr.name if self.instr else "?"
+        if self.dyn:
+            name = f"{name}+{self.dyn}"
+        return name if self.kind == OCC_INSTR else f"{name}(stall)"
+
+
+@dataclass
+class RetiredInstruction:
+    """One instruction that completed writeback."""
+
+    seq: int
+    pc: int
+    instr: Instruction
+    cycle: int
+
+
+@dataclass
+class ActivityTrace:
+    """Cycle-by-cycle record of pipeline occupancy and latch values."""
+
+    occupancy: Dict[str, List[StageOccupancy]] = field(
+        default_factory=lambda: {stage: [] for stage in STAGES})
+    _values: Dict[str, List[Tuple[int, ...]]] = field(
+        default_factory=lambda: {stage: [] for stage in STAGES})
+    stalls: List[StallEvent] = field(default_factory=list)
+    cache_events: List[CacheEvent] = field(default_factory=list)
+    branch_events: List[BranchEvent] = field(default_factory=list)
+    flushes: List[FlushEvent] = field(default_factory=list)
+    retired: List[RetiredInstruction] = field(default_factory=list)
+
+    # -- recording (called by the pipeline) -----------------------------
+    def commit_cycle(self, occupancy: Dict[str, StageOccupancy],
+                     latch_values: Dict[str, Tuple[int, ...]]) -> None:
+        """Append one cycle's occupancy and latch snapshot."""
+        for stage in STAGES:
+            self.occupancy[stage].append(occupancy[stage])
+            self._values[stage].append(latch_values[stage])
+
+    # -- shape ------------------------------------------------------------
+    @property
+    def num_cycles(self) -> int:
+        """Total simulated cycles."""
+        return len(self._values[STAGES[0]])
+
+    # -- derived matrices ---------------------------------------------------
+    def values_matrix(self, stage: str) -> np.ndarray:
+        """(cycles, registers) uint64 matrix of latch values for ``stage``."""
+        return np.asarray(self._values[stage], dtype=np.uint64).reshape(
+            self.num_cycles, len(STAGE_REGISTERS[stage]))
+
+    def transition_matrix(self, stage: str) -> np.ndarray:
+        """(cycles, bits) 0/1 matrix of latch bit-flips for ``stage``.
+
+        Row ``n`` holds the flips between cycle ``n-1`` and cycle ``n``
+        (cycle 0 is compared with the all-zero reset state).  Cached after
+        the first computation.
+        """
+        cache = getattr(self, "_transition_cache", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_transition_cache", cache)
+        if stage in cache and cache[stage].shape[0] == self.num_cycles:
+            return cache[stage]
+        values = self.values_matrix(stage)
+        previous = np.vstack([np.zeros((1, values.shape[1]),
+                                       dtype=np.uint64), values[:-1]])
+        xor = values ^ previous
+        columns = []
+        for column, (_, width) in enumerate(STAGE_REGISTERS[stage]):
+            shifts = np.arange(width, dtype=np.uint64)
+            columns.append(((xor[:, column:column + 1] >> shifts) &
+                            np.uint64(1)).astype(np.uint8))
+        cache[stage] = np.hstack(columns)
+        return cache[stage]
+
+    def flip_counts(self, stage: str) -> np.ndarray:
+        """(cycles,) total latch bit-flips per cycle for ``stage``."""
+        return self.transition_matrix(stage).sum(axis=1)
+
+    def total_flip_counts(self) -> np.ndarray:
+        """(cycles,) bit-flips per cycle summed over all stages."""
+        return sum(self.flip_counts(stage) for stage in STAGES)
+
+    # -- occupancy views ---------------------------------------------------
+    def stage_kinds(self, stage: str) -> List[str]:
+        """Occupancy kind per cycle for ``stage``."""
+        return [occ.kind for occ in self.occupancy[stage]]
+
+    def active_mask(self, stage: str) -> np.ndarray:
+        """(cycles,) boolean: stage doing real instruction work."""
+        return np.asarray([occ.active for occ in self.occupancy[stage]])
+
+    def stall_mask(self, stage: str) -> np.ndarray:
+        """(cycles,) boolean: stage frozen by a stall."""
+        return np.asarray([occ.kind == OCC_STALL
+                           for occ in self.occupancy[stage]])
+
+    def instruction_labels(self, stage: str) -> List[str]:
+        """Readable per-cycle labels for ``stage`` (for reports/tests)."""
+        return [occ.label() for occ in self.occupancy[stage]]
+
+    def cycles_of(self, seq: int, stage: str) -> List[int]:
+        """Cycles during which dynamic instruction ``seq`` occupied
+        ``stage`` (including stalled cycles)."""
+        return [cycle for cycle, occ in enumerate(self.occupancy[stage])
+                if occ.seq == seq]
+
+    # -- convenience statistics ---------------------------------------------
+    @property
+    def instructions_retired(self) -> int:
+        """Count of retired instructions."""
+        return len(self.retired)
+
+    @property
+    def mispredictions(self) -> int:
+        """Count of mispredicted branch events."""
+        return sum(event.mispredicted for event in self.branch_events)
+
+    @property
+    def cache_misses(self) -> int:
+        """Count of data-cache misses."""
+        return sum(not event.hit for event in self.cache_events)
+
+    def stage_bits(self, stage: str) -> int:
+        """Number of tracked latch bits for ``stage``."""
+        return stage_bit_count(stage)
+
+
+def concat_traces(traces: Sequence[ActivityTrace]) -> ActivityTrace:
+    """Concatenate traces cycle-wise (for stitched training corpora)."""
+    merged = ActivityTrace()
+    for trace in traces:
+        for stage in STAGES:
+            merged.occupancy[stage].extend(trace.occupancy[stage])
+            merged._values[stage].extend(trace._values[stage])
+        merged.stalls.extend(trace.stalls)
+        merged.cache_events.extend(trace.cache_events)
+        merged.branch_events.extend(trace.branch_events)
+        merged.flushes.extend(trace.flushes)
+        merged.retired.extend(trace.retired)
+    return merged

@@ -1,0 +1,28 @@
+"""Workload generators and canned kernels for tests and benchmarks."""
+
+from .crypto import (DONE_SYMBOL, LOOP_SYMBOL, modexp_program,
+                     modexp_reference)
+from .generators import (RandomProgramBuilder, SCRATCH_BASE, SCRATCH_WORDS,
+                         nop_padded, wrap_program)
+from .programs import (ALL_KERNELS, bubble_sort, checksum, crc32,
+                       dot_product, fibonacci, matmul, memcpy)
+
+__all__ = [
+    "ALL_KERNELS",
+    "RandomProgramBuilder",
+    "SCRATCH_BASE",
+    "SCRATCH_WORDS",
+    "DONE_SYMBOL",
+    "LOOP_SYMBOL",
+    "bubble_sort",
+    "checksum",
+    "crc32",
+    "dot_product",
+    "fibonacci",
+    "matmul",
+    "memcpy",
+    "modexp_program",
+    "modexp_reference",
+    "nop_padded",
+    "wrap_program",
+]

@@ -1,0 +1,97 @@
+"""Cryptographic kernels: modular exponentiation (square-and-multiply).
+
+The classic simple-power-analysis (SPA) target the paper's introduction
+motivates: an RSA-style ``base^exponent mod modulus`` whose naive
+implementation takes a key-dependent branch per exponent bit.  Two
+variants are generated:
+
+* **leaky** — left-to-right square-and-multiply with a conditional
+  multiply (`if bit: acc = acc*base mod m`): each 1-bit costs an extra
+  multiply, visible in both timing and EM amplitude;
+* **constant-time** — always multiplies and selects the result with a
+  branch-free mask, the standard SPA countermeasure.
+
+The modulus is kept below 2^16 so the 32-bit ``remu`` reduces products
+exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..isa.assembler import assemble
+from ..isa.program import Program
+
+LOOP_SYMBOL = "bitloop"
+"""Label of the per-exponent-bit loop head (SPA segmentation anchor)."""
+
+DONE_SYMBOL = "bitloop_done"
+"""Label of the first instruction after the loop (final boundary)."""
+
+
+def modexp_reference(base: int, exponent: int, modulus: int,
+                     bits: int = 16) -> int:
+    """Reference ``base^exponent mod modulus`` over the top ``bits``."""
+    accumulator = 1
+    for index in range(bits - 1, -1, -1):
+        accumulator = (accumulator * accumulator) % modulus
+        if (exponent >> index) & 1:
+            accumulator = (accumulator * base) % modulus
+    return accumulator
+
+
+def modexp_program(base: int, exponent: int, modulus: int,
+                   bits: int = 16,
+                   constant_time: bool = False) -> Program:
+    """Generate the modular-exponentiation program.
+
+    Registers: a0 = base, a1 = exponent, a2 = modulus; the result lands
+    in a3 and is also stored to ``0x10000``.
+    """
+    if not 1 < modulus < (1 << 16):
+        raise ValueError("modulus must fit in 16 bits (exact remu "
+                         "reduction)")
+    if not 0 <= exponent < (1 << bits):
+        raise ValueError(f"exponent must fit in {bits} bits")
+    body: List[str]
+    if constant_time:
+        body = [
+            "    mul  t2, a3, a0",
+            "    remu t2, t2, a2       # candidate: acc*base mod m",
+            "    srl  t1, a1, t0",
+            "    andi t1, t1, 1        # key bit",
+            "    sub  t3, zero, t1     # 0x00000000 or 0xFFFFFFFF",
+            "    and  t2, t2, t3",
+            "    not  t4, t3",
+            "    and  t5, a3, t4",
+            "    or   a3, t2, t5       # branch-free select",
+        ]
+    else:
+        body = [
+            "    srl  t1, a1, t0",
+            "    andi t1, t1, 1        # key bit",
+            "    beqz t1, skip_mul     # <-- key-dependent branch (SPA)",
+            "    mul  t2, a3, a0",
+            "    remu a3, t2, a2",
+            "skip_mul:",
+        ]
+    source = "\n".join([
+        ".text",
+        f"    li   a0, {base % modulus}",
+        f"    li   a1, {exponent}",
+        f"    li   a2, {modulus}",
+        "    li   a3, 1",
+        f"    li   t0, {bits}",
+        f"{LOOP_SYMBOL}:",
+        "    addi t0, t0, -1",
+        "    mul  t2, a3, a3",
+        "    remu a3, t2, a2       # square",
+    ] + body + [
+        f"    bnez t0, {LOOP_SYMBOL}",
+        f"{DONE_SYMBOL}:",
+        "    li   t6, 0x10000",
+        "    sw   a3, 0(t6)",
+        "    ebreak",
+    ])
+    name = f"modexp_{'ct' if constant_time else 'leaky'}_{bits}b"
+    return assemble(source, name=name)

@@ -1,0 +1,243 @@
+"""Canned benchmark kernels written in RV32IM assembly.
+
+Small, realistic programs used by the examples, tests, and benchmark
+harness: the kind of embedded/IoT codes the paper's introduction motivates.
+"""
+
+from __future__ import annotations
+
+from ..isa.assembler import assemble
+from ..isa.program import Program
+
+
+def dot_product(length: int = 16) -> Program:
+    """Integer dot product of two vectors of ``length`` words."""
+    words_a = ", ".join(str((3 * i + 1) & 0xFFFF) for i in range(length))
+    words_b = ", ".join(str((7 * i + 2) & 0xFFFF) for i in range(length))
+    source = f"""
+.data
+.org 0x10000
+vec_a: .word {words_a}
+vec_b: .word {words_b}
+.text
+    la   t0, vec_a
+    la   t1, vec_b
+    li   t2, {length}
+    li   a0, 0
+loop:
+    lw   t3, 0(t0)
+    lw   t4, 0(t1)
+    mul  t5, t3, t4
+    add  a0, a0, t5
+    addi t0, t0, 4
+    addi t1, t1, 4
+    addi t2, t2, -1
+    bnez t2, loop
+    ebreak
+"""
+    return assemble(source, name=f"dot_product_{length}")
+
+
+def memcpy(words: int = 32) -> Program:
+    """Word-wise memory copy of ``words`` words."""
+    initial = ", ".join(str((0x1234 + 17 * i) & 0xFFFFFFFF)
+                        for i in range(words))
+    source = f"""
+.data
+.org 0x10000
+src: .word {initial}
+.org 0x12000
+dst: .space {4 * words}
+.text
+    la   t0, src
+    la   t1, dst
+    li   t2, {words}
+copy:
+    lw   t3, 0(t0)
+    sw   t3, 0(t1)
+    addi t0, t0, 4
+    addi t1, t1, 4
+    addi t2, t2, -1
+    bnez t2, copy
+    ebreak
+"""
+    return assemble(source, name=f"memcpy_{words}")
+
+
+def fibonacci(n: int = 12) -> Program:
+    """Iterative Fibonacci; result in a0."""
+    source = f"""
+.text
+    li   t0, {n}
+    li   a0, 0
+    li   a1, 1
+fib:
+    beqz t0, done
+    add  t2, a0, a1
+    mv   a0, a1
+    mv   a1, t2
+    addi t0, t0, -1
+    j    fib
+done:
+    ebreak
+"""
+    return assemble(source, name=f"fibonacci_{n}")
+
+
+def bubble_sort(length: int = 10) -> Program:
+    """In-place bubble sort of ``length`` words (worst-case input)."""
+    words = ", ".join(str(length - i) for i in range(length))
+    source = f"""
+.data
+.org 0x10000
+array: .word {words}
+.text
+    li   s2, {length}
+outer:
+    addi s2, s2, -1
+    blez s2, done
+    la   t0, array
+    li   t1, 0
+inner:
+    lw   t2, 0(t0)
+    lw   t3, 4(t0)
+    ble  t2, t3, noswap
+    sw   t3, 0(t0)
+    sw   t2, 4(t0)
+noswap:
+    addi t0, t0, 4
+    addi t1, t1, 1
+    blt  t1, s2, inner
+    j    outer
+done:
+    ebreak
+"""
+    return assemble(source, name=f"bubble_sort_{length}")
+
+
+def checksum(words: int = 64) -> Program:
+    """Rotate-and-xor checksum over a data block (cache-heavy)."""
+    initial = ", ".join(str((0xA5A5A5A5 ^ (i * 0x01010101)) & 0xFFFFFFFF)
+                        for i in range(words))
+    source = f"""
+.data
+.org 0x10000
+block: .word {initial}
+.text
+    la   t0, block
+    li   t1, {words}
+    li   a0, 0
+sum:
+    lw   t2, 0(t0)
+    slli t3, a0, 5
+    srli a0, a0, 27
+    or   a0, a0, t3
+    xor  a0, a0, t2
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, sum
+    ebreak
+"""
+    return assemble(source, name=f"checksum_{words}")
+
+
+def crc32(words: int = 16) -> Program:
+    """Bitwise CRC-32 (reflected 0xEDB88320) over a data block.
+
+    Dense shift/xor/branch mix — the kind of integrity-check loop that
+    runs constantly on embedded devices.
+    """
+    initial = ", ".join(str((0xC0FFEE00 + 37 * i) & 0xFFFFFFFF)
+                        for i in range(words))
+    source = f"""
+.data
+.org 0x10000
+block: .word {initial}
+.text
+    la   t0, block
+    li   t1, {words}
+    li   a0, -1            # crc = 0xFFFFFFFF
+    li   t5, 0xEDB88320
+word_loop:
+    lw   t2, 0(t0)
+    xor  a0, a0, t2
+    li   t3, 32
+bit_loop:
+    andi t4, a0, 1
+    srli a0, a0, 1
+    beqz t4, no_poly
+    xor  a0, a0, t5
+no_poly:
+    addi t3, t3, -1
+    bnez t3, bit_loop
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, word_loop
+    not  a0, a0
+    ebreak
+"""
+    return assemble(source, name=f"crc32_{words}")
+
+
+def matmul(size: int = 4) -> Program:
+    """Dense ``size`` x ``size`` integer matrix multiply (MUL-heavy)."""
+    a_words = ", ".join(str((2 * i + 1) & 0xFF) for i in range(size * size))
+    b_words = ", ".join(str((3 * i + 2) & 0xFF) for i in range(size * size))
+    source = f"""
+.data
+.org 0x10000
+mat_a: .word {a_words}
+.org 0x10400
+mat_b: .word {b_words}
+.org 0x10800
+mat_c: .space {4 * size * size}
+.text
+    li   s2, 0              # i
+row:
+    li   s3, 0              # j
+col:
+    li   s4, 0              # k
+    li   a0, 0              # acc
+inner:
+    li   t0, {size}
+    mul  t1, s2, t0
+    add  t1, t1, s4         # i*size + k
+    slli t1, t1, 2
+    la   t2, mat_a
+    add  t2, t2, t1
+    lw   t3, 0(t2)
+    mul  t1, s4, t0
+    add  t1, t1, s3         # k*size + j
+    slli t1, t1, 2
+    la   t2, mat_b
+    add  t2, t2, t1
+    lw   t4, 0(t2)
+    mul  t5, t3, t4
+    add  a0, a0, t5
+    addi s4, s4, 1
+    blt  s4, t0, inner
+    mul  t1, s2, t0
+    add  t1, t1, s3
+    slli t1, t1, 2
+    la   t2, mat_c
+    add  t2, t2, t1
+    sw   a0, 0(t2)
+    addi s3, s3, 1
+    blt  s3, t0, col
+    addi s2, s2, 1
+    blt  s2, t0, row
+    ebreak
+"""
+    return assemble(source, name=f"matmul_{size}")
+
+
+ALL_KERNELS = {
+    "dot_product": dot_product,
+    "memcpy": memcpy,
+    "fibonacci": fibonacci,
+    "bubble_sort": bubble_sort,
+    "checksum": checksum,
+    "crc32": crc32,
+    "matmul": matmul,
+}
+"""Name -> factory for every canned kernel."""

@@ -1,0 +1,18 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import HardwareDevice
+
+
+@pytest.fixture(scope="session")
+def device():
+    """A default DE0-CV bench shared across tests (read-only use)."""
+    return HardwareDevice()
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic random generator per test."""
+    return np.random.default_rng(1234)

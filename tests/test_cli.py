@@ -1,0 +1,72 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def model_path(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("cli") / "model.json")
+    assert main(["train", "--out", path, "--probes", "8"]) == 0
+    return path
+
+
+def test_train_writes_valid_model(model_path):
+    with open(model_path) as handle:
+        data = json.load(handle)
+    assert data["format_version"] == 1
+    assert data["trained_on"].startswith("de0-cv")
+
+
+def test_simulate_program(model_path, tmp_path, capsys):
+    source = tmp_path / "prog.s"
+    source.write_text("li t0, 3\nmul t1, t0, t0\nebreak\n")
+    csv_path = tmp_path / "out.csv"
+    assert main(["simulate", "--model", model_path, str(source),
+                 "--csv", str(csv_path)]) == 0
+    output = capsys.readouterr().out
+    assert "instructions" in output
+    lines = csv_path.read_text().splitlines()
+    assert lines[0] == "cycle,execute_stage,amplitude"
+    assert len(lines) > 5
+
+
+def test_savat_command(model_path, capsys):
+    assert main(["savat", "--model", model_path,
+                 "--pairs", "ADD/NOP,NOP/NOP"]) == 0
+    output = capsys.readouterr().out
+    assert "SAVAT ADD/NOP" in output
+    assert "SAVAT NOP/NOP" in output
+
+
+def test_balance_command(tmp_path, capsys):
+    source = tmp_path / "leaky.s"
+    source.write_text("""
+    li t0, 5
+    li t1, 3
+    beqz t1, skip
+    mul t2, t0, t1
+skip:
+    ebreak
+""")
+    out = tmp_path / "balanced.s"
+    assert main(["balance", str(source), "--out", str(out)]) == 0
+    text = out.read_text()
+    assert "mul zero" in text  # the dummy clone
+    # the balanced file is itself valid assembly
+    from repro.isa import assemble
+    assemble(text)
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_bad_board_rejected(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["train", "--out", str(tmp_path / "m.json"),
+              "--board", "nexys"])

@@ -1,0 +1,126 @@
+"""Tests for the model-building microbenchmarks (repro.core.microbench)."""
+
+import pytest
+
+from repro.core.microbench import (CLASS_MEMBERS, REPRESENTATIVES,
+                                   all_combinations, combination_group,
+                                   coverage_groups, double_load_probe,
+                                   isolation_probe, pair_probe,
+                                   probe_instruction_seq, repeat_probe)
+from repro.uarch import GoldenSimulator, run_program
+
+
+def test_representatives_cover_seven_classes():
+    assert len(REPRESENTATIVES) == 7
+    for cls, name in REPRESENTATIVES.items():
+        assert name in CLASS_MEMBERS[cls]
+
+
+def test_class_members_match_table_one_sizes():
+    assert len(CLASS_MEMBERS["alu"]) == 13     # Table I row 1
+    assert len(CLASS_MEMBERS["muldiv"]) == 8   # row 3
+    assert len(CLASS_MEMBERS["load"]) == 5     # rows 4/6
+    assert len(CLASS_MEMBERS["store"]) == 3    # row 5
+    assert len(CLASS_MEMBERS["branch"]) == 6   # row 7
+
+
+def test_all_combinations_count():
+    combos = all_combinations()
+    assert len(combos) == 7 ** 5 == 16807  # the paper's number
+    assert len(set(combos)) == len(combos)
+
+
+def test_isolation_probe_structure():
+    program = isolation_probe("add")
+    seq = probe_instruction_seq(program)
+    assert program.instructions[seq].name == "add"
+    # surrounded by NOPs
+    assert program.instructions[seq - 1].is_nop
+    assert program.instructions[seq + 1].is_nop
+    trace, core = run_program(program)
+    assert core.halted
+
+
+def test_isolation_probe_zero_operands_by_default():
+    program = isolation_probe("add")
+    golden = GoldenSimulator(program)
+    golden.run()
+    assert golden.registers[8] == 0 and golden.registers[9] == 0
+
+
+def test_isolation_probe_operand_values_loaded():
+    program = isolation_probe("add", rs1_value=0x12345678,
+                              rs2_value=0xDEADBEEF)
+    golden = GoldenSimulator(program)
+    golden.run()
+    assert golden.registers[8] == 0x12345678
+    assert golden.registers[9] == 0xDEADBEEF
+
+
+@pytest.mark.parametrize("name", sorted(REPRESENTATIVES.values()))
+def test_every_representative_probe_runs(name):
+    program = isolation_probe(name, rs1_value=3, rs2_value=5)
+    trace, core = run_program(program)
+    assert core.halted
+    assert trace.instructions_retired >= len(program) - 2
+
+
+def test_double_load_probe_miss_then_hit():
+    program = double_load_probe("lw")
+    trace, _ = run_program(program)
+    hits = [event.hit for event in trace.cache_events]
+    assert hits == [False, True]
+
+
+def test_repeat_probe_has_identical_instances():
+    program = repeat_probe("add", rs1_value=7, rs2_value=9, count=3)
+    seq = probe_instruction_seq(program)
+    instrs = program.instructions[seq:seq + 3]
+    assert len({instr for instr in instrs}) == 1
+    trace, core = run_program(program)
+    assert core.halted
+
+
+def test_pair_probe_runs():
+    program = pair_probe("add", "sll")
+    trace, core = run_program(program)
+    assert core.halted
+
+
+def test_combination_group_runs_and_halts():
+    combos = all_combinations()[:64]
+    program = combination_group(combos, seed=3)
+    trace, core = run_program(program, max_cycles=100_000)
+    assert core.halted
+    assert trace.num_cycles < 10_000
+
+
+def test_combination_group_exercises_all_classes():
+    combos = all_combinations()[:128]
+    program = combination_group(combos, seed=5)
+    trace, _ = run_program(program, max_cycles=100_000)
+    executed_classes = {occ.em_class()
+                        for occ in trace.occupancy["E"] if occ.active}
+    assert {"alu", "shift", "muldiv", "load", "store",
+            "branch"} <= executed_classes
+
+
+def test_coverage_groups_partition_all_combinations():
+    groups = coverage_groups(group_size=1024)
+    assert len(groups) == 17  # the paper's 17 groups
+    # every group is a distinct program
+    assert len({group.name for group in groups}) == 17
+
+
+def test_coverage_groups_full_isa_variant():
+    groups = coverage_groups(group_size=2048, use_full_isa=True,
+                             limit_groups=1)
+    mnemonics = {instr.name for instr in groups[0].instructions}
+    assert len(mnemonics) > 15  # draws beyond the 7 representatives
+
+
+def test_coverage_groups_terminate():
+    for group in coverage_groups(group_size=512, seed=11, limit_groups=3):
+        golden = GoldenSimulator(group)
+        golden.run(max_steps=300_000)
+        assert golden.halted, group.name

@@ -1,0 +1,72 @@
+"""Tests for model serialization (repro.core.persistence).
+
+The paper envisions trained parameters shipped "as a library"; a model
+must survive a save/load round trip bit-for-bit in its predictions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (EMSim, load_model, model_from_dict, model_to_dict,
+                        save_model, train_emsim)
+from repro.hardware import HardwareDevice
+from repro.workloads import dot_product, fibonacci
+
+
+@pytest.fixture(scope="module")
+def trained():
+    device = HardwareDevice()
+    return device, train_emsim(device)
+
+
+def test_round_trip_predictions_identical(trained, tmp_path):
+    device, model = trained
+    path = str(tmp_path / "model.json")
+    save_model(model, path)
+    restored = load_model(path)
+
+    simulator = EMSim(model, core_config=device.core_config)
+    restored_simulator = EMSim(restored,
+                               core_config=device.core_config)
+    for program in (dot_product(6), fibonacci(8)):
+        original = simulator.simulate(program)
+        loaded = restored_simulator.simulate(program)
+        assert np.allclose(original.amplitudes, loaded.amplitudes)
+        assert np.allclose(original.signal, loaded.signal)
+
+
+def test_round_trip_preserves_parameters(trained):
+    _, model = trained
+    restored = model_from_dict(model_to_dict(model))
+    assert restored.amplitudes == model.amplitudes
+    assert restored.floors == model.floors
+    assert restored.miso == model.miso
+    assert restored.intercept == model.intercept
+    assert restored.nop_level == model.nop_level
+    assert restored.trained_on == model.trained_on
+    assert restored.config.kernel == model.config.kernel
+    for stage, linear in model.regression_activity.models.items():
+        other = restored.regression_activity.models[stage]
+        assert other.intercept == linear.intercept
+        assert np.array_equal(other.coefficients, linear.coefficients)
+        assert np.array_equal(other.features, linear.features)
+
+
+def test_serialized_form_is_plain_json(trained, tmp_path):
+    import json
+    _, model = trained
+    path = str(tmp_path / "model.json")
+    save_model(model, path)
+    with open(path) as handle:
+        data = json.load(handle)
+    assert data["format_version"] == 1
+    assert data["trained_on"] == "de0-cv#0"
+    assert isinstance(data["amplitudes"], list)
+
+
+def test_unknown_format_rejected(trained):
+    _, model = trained
+    data = model_to_dict(model)
+    data["format_version"] = 999
+    with pytest.raises(ValueError):
+        model_from_dict(data)

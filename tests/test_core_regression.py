@@ -1,0 +1,103 @@
+"""Tests for regression + step-wise selection (repro.core.regression)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.regression import (fit_full, fit_linear, stepwise_select)
+
+
+def _synthetic(n=200, p=30, informative=(2, 7, 11), noise=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    design = rng.integers(0, 2, size=(n, p)).astype(float)
+    coefficients = np.zeros(p)
+    for index, column in enumerate(informative):
+        coefficients[column] = 1.0 + index
+    target = 0.5 + design @ coefficients + rng.normal(0, noise, n)
+    return design, target, coefficients
+
+
+def test_fit_linear_recovers_coefficients():
+    design, target, coefficients = _synthetic()
+    intercept, fitted = fit_linear(design, target)
+    assert abs(intercept - 0.5) < 0.1
+    assert np.allclose(fitted, coefficients, atol=0.1)
+
+
+def test_fit_linear_weighted():
+    design = np.array([[1.0], [1.0], [0.0]])
+    target = np.array([2.0, 2.0, 0.0])
+    # weight the last row heavily; the intercept should go to ~0
+    intercept, coef = fit_linear(design, target,
+                                 weights=np.array([1.0, 1.0, 100.0]))
+    assert abs(intercept) < 0.05
+    assert abs(coef[0] - 2.0) < 0.1
+
+
+def test_stepwise_finds_informative_columns():
+    design, target, _ = _synthetic()
+    model = stepwise_select(design, target, f_threshold=4.0)
+    assert set(model.features) >= {2, 7, 11}
+    assert model.features.size < 10  # noise columns mostly excluded
+    assert model.r_squared > 0.98
+
+
+def test_stepwise_reduces_feature_count_substantially():
+    """The paper's '>65% of T removed' behaviour on sparse problems."""
+    design, target, _ = _synthetic(p=80, informative=(1, 5, 40))
+    model = stepwise_select(design, target, f_threshold=4.0)
+    assert model.features.size <= 0.35 * 80
+
+
+def test_stepwise_respects_max_features():
+    design, target, _ = _synthetic()
+    model = stepwise_select(design, target, max_features=2)
+    assert model.features.size <= 2
+
+
+def test_stepwise_forced_features_always_kept():
+    design, target, _ = _synthetic()
+    model = stepwise_select(design, target, forced_features=[0, 1])
+    assert {0, 1} <= set(model.features)
+
+
+def test_stepwise_handles_constant_columns():
+    design = np.ones((50, 3))
+    design[:, 1] = np.arange(50)
+    target = 2.0 * design[:, 1] + 1.0
+    model = stepwise_select(design, target)
+    assert list(model.features) == [1]
+
+
+def test_stepwise_pure_noise_selects_nothing():
+    rng = np.random.default_rng(4)
+    design = rng.normal(size=(100, 20))
+    target = rng.normal(size=100)
+    model = stepwise_select(design, target, f_threshold=12.0)
+    assert model.features.size <= 2
+
+
+def test_model_predict_shapes():
+    design, target, _ = _synthetic()
+    model = stepwise_select(design, target)
+    predictions = model.predict(design)
+    assert predictions.shape == (design.shape[0],)
+    single = model.predict(design[0])
+    assert single.shape == (1,)
+
+
+def test_fit_full_uses_every_column():
+    design, target, _ = _synthetic(p=10, informative=(2, 7))
+    model = fit_full(design, target)
+    assert model.features.size == 10
+    assert model.r_squared > 0.9
+
+
+@given(st.integers(0, 1000))
+@settings(max_examples=20, deadline=None)
+def test_stepwise_never_beats_perfect_fit(seed):
+    design, target, _ = _synthetic(seed=seed, noise=0.2)
+    model = stepwise_select(design, target)
+    assert model.r_squared <= 1.0 + 1e-9
+    assert model.residual_variance >= 0.0

@@ -1,0 +1,214 @@
+"""Tests for the two-pass assembler (repro.isa.assembler)."""
+
+import pytest
+
+from repro.isa import (AssemblerError, Instruction, TEXT_BASE, assemble)
+
+
+def test_basic_r_type():
+    program = assemble("add t0, t1, t2")
+    assert program.instructions == [Instruction("add", rd=5, rs1=6, rs2=7)]
+
+
+def test_comments_and_blank_lines():
+    program = assemble("""
+    # a comment
+    add t0, t1, t2   ; trailing comment
+
+    """)
+    assert len(program) == 1
+
+
+def test_labels_and_backward_branch():
+    program = assemble("""
+loop:
+    addi t0, t0, -1
+    bnez t0, loop
+    """)
+    branch = program.instructions[1]
+    assert branch.name == "bne"
+    assert branch.imm == -4  # from the branch back to loop
+
+
+def test_forward_branch():
+    program = assemble("""
+    beq t0, t1, done
+    addi t2, t2, 1
+done:
+    nop
+    """)
+    assert program.instructions[0].imm == 8
+
+
+def test_jal_and_pseudo_jump():
+    program = assemble("""
+    j target
+    nop
+target:
+    ret
+    """)
+    jal = program.instructions[0]
+    assert jal.name == "jal" and jal.rd == 0 and jal.imm == 8
+    ret = program.instructions[2]
+    assert ret.name == "jalr" and ret.rs1 == 1 and ret.rd == 0
+
+
+def test_li_small_and_large():
+    program = assemble("""
+    li t0, 42
+    li t1, -1
+    li t2, 0x12345678
+    """)
+    assert program.instructions[0] == Instruction("addi", rd=5, rs1=0,
+                                                  imm=42)
+    assert program.instructions[1] == Instruction("addi", rd=6, rs1=0,
+                                                  imm=-1)
+    # large li expands to lui+addi reproducing the value
+    lui, addi = program.instructions[2:4]
+    assert lui.name == "lui" and addi.name == "addi"
+    value = ((lui.imm << 12) + addi.imm) & 0xFFFFFFFF
+    assert value == 0x12345678
+
+
+def test_la_loads_symbol_address():
+    program = assemble("""
+.data
+.org 0x10000
+var: .word 7
+.text
+    la t0, var
+    lw t1, 0(t0)
+    """)
+    lui, addi = program.instructions[0:2]
+    address = ((lui.imm << 12) + addi.imm) & 0xFFFFFFFF
+    assert address == 0x10000
+
+
+def test_data_directives():
+    program = assemble("""
+.data
+.org 0x10000
+bytes: .byte 1, 2, 255
+halves: .half 0x1234
+words: .word 0xdeadbeef
+    """)
+    assert program.data[0x10000] == 1
+    assert program.data[0x10002] == 255
+    assert program.data[0x10003] == 0x34
+    assert program.data[0x10004] == 0x12
+    assert program.data[0x10005] == 0xEF
+    assert program.data[0x10008] == 0xDE
+
+
+def test_space_and_align():
+    program = assemble("""
+.data
+.org 0x10001
+.align 2
+aligned: .word 5
+    """)
+    assert program.symbols["aligned"] == 0x10004
+
+
+def test_equ_constants():
+    program = assemble("""
+.equ SIZE, 16
+    li t0, SIZE
+    addi t1, t0, SIZE-1
+    """)
+    assert program.instructions[0].imm == 16
+    assert program.instructions[1].imm == 15
+
+
+def test_hi_lo_relocations():
+    program = assemble("""
+.equ ADDR, 0x12345678
+    lui t0, %hi(ADDR)
+    addi t0, t0, %lo(ADDR)
+    """)
+    lui, addi = program.instructions
+    assert ((lui.imm << 12) + addi.imm) & 0xFFFFFFFF == 0x12345678
+
+
+def test_memory_operand_forms():
+    program = assemble("""
+    lw t0, 8(sp)
+    sw t1, -4(s0)
+    jalr ra, 0(t2)
+    """)
+    assert program.instructions[0].imm == 8
+    assert program.instructions[1].imm == -4
+    assert program.instructions[2].rs1 == 7
+
+
+def test_zero_branch_pseudos():
+    program = assemble("""
+top:
+    beqz t0, top
+    bnez t1, top
+    bltz t2, top
+    bgez t3, top
+    blez t4, top
+    bgtz t5, top
+    """)
+    names = [instr.name for instr in program.instructions]
+    assert names == ["beq", "bne", "blt", "bge", "bge", "blt"]
+    # blez swaps operands: 0 >= t4
+    assert program.instructions[4].rs1 == 0
+    assert program.instructions[4].rs2 == 29
+
+
+def test_swapped_compare_pseudos():
+    program = assemble("""
+t:
+    bgt t0, t1, t
+    ble t0, t1, t
+    """)
+    assert program.instructions[0].name == "blt"
+    assert program.instructions[0].rs1 == 6  # operands swapped
+    assert program.instructions[1].name == "bge"
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("a:\nnop\na:\nnop")
+
+
+def test_undefined_symbol_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("j nowhere")
+
+
+def test_unknown_mnemonic_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("frobnicate t0, t1")
+
+
+def test_wrong_operand_count_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("add t0, t1")
+
+
+def test_org_in_text_rejected():
+    with pytest.raises(AssemblerError):
+        assemble(".text\n.org 0x100\nnop")
+
+
+def test_instruction_in_data_rejected():
+    with pytest.raises(AssemblerError):
+        assemble(".data\nadd t0, t1, t2")
+
+
+def test_addresses_are_contiguous():
+    program = assemble("nop\nnop\nnop")
+    assert [program.address_of(i) for i in range(3)] == \
+        [TEXT_BASE, TEXT_BASE + 4, TEXT_BASE + 8]
+
+
+def test_error_reports_line_number():
+    try:
+        assemble("nop\nbogus t0\nnop")
+    except AssemblerError as error:
+        assert error.line_number == 2
+    else:
+        pytest.fail("expected AssemblerError")

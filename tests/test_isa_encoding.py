@@ -1,0 +1,137 @@
+"""Tests for instruction encoding/decoding (repro.isa.encoding)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.encoding import decode, encode, sign_extend, to_unsigned
+from repro.isa.spec import ALL_MNEMONICS, OPCODES, InstrFormat
+
+
+# ----------------------------------------------------------------------
+# helpers for hypothesis strategies
+# ----------------------------------------------------------------------
+def _fields_strategy(name):
+    """Strategy producing legal field dicts for one mnemonic."""
+    spec = OPCODES[name]
+    reg = st.integers(0, 31)
+    if name in ("ecall", "ebreak", "fence"):
+        return st.just({})
+    if name in ("slli", "srli", "srai"):
+        return st.fixed_dictionaries(
+            {"rd": reg, "rs1": reg, "imm": st.integers(0, 31)})
+    if spec.fmt is InstrFormat.R:
+        return st.fixed_dictionaries({"rd": reg, "rs1": reg, "rs2": reg})
+    if spec.fmt is InstrFormat.I:
+        return st.fixed_dictionaries(
+            {"rd": reg, "rs1": reg, "imm": st.integers(-2048, 2047)})
+    if spec.fmt is InstrFormat.S:
+        return st.fixed_dictionaries(
+            {"rs1": reg, "rs2": reg, "imm": st.integers(-2048, 2047)})
+    if spec.fmt is InstrFormat.B:
+        return st.fixed_dictionaries(
+            {"rs1": reg, "rs2": reg,
+             "imm": st.integers(-2048, 2046).map(lambda v: v * 2)})
+    if spec.fmt is InstrFormat.U:
+        return st.fixed_dictionaries(
+            {"rd": reg, "imm": st.integers(0, (1 << 20) - 1)})
+    if spec.fmt is InstrFormat.J:
+        return st.fixed_dictionaries(
+            {"rd": reg,
+             "imm": st.integers(-(1 << 19), (1 << 19) - 1).map(
+                 lambda v: v * 2)})
+    raise AssertionError(name)
+
+
+@st.composite
+def instructions(draw):
+    name = draw(st.sampled_from(ALL_MNEMONICS))
+    fields = draw(_fields_strategy(name))
+    return name, fields
+
+
+# ----------------------------------------------------------------------
+# property tests
+# ----------------------------------------------------------------------
+@given(instructions())
+@settings(max_examples=400, deadline=None)
+def test_encode_decode_round_trip(case):
+    name, fields = case
+    word = encode(name, **fields)
+    assert 0 <= word < (1 << 32)
+    decoded = decode(word)
+    assert decoded["name"] == name
+    for key, value in fields.items():
+        assert decoded[key] == value, (name, key, fields, decoded)
+
+
+@given(st.integers(-(1 << 31), (1 << 31) - 1), st.integers(1, 32))
+def test_sign_extend_idempotent(value, bits):
+    once = sign_extend(value, bits)
+    assert sign_extend(once, bits) == once
+    assert -(1 << (bits - 1)) <= once < (1 << (bits - 1))
+
+
+@given(st.integers(-(1 << 31), 0))
+def test_to_unsigned_inverts_sign_extend(value):
+    assert sign_extend(to_unsigned(value, 32), 32) == value
+
+
+# ----------------------------------------------------------------------
+# fixed-vector tests (known encodings from the RISC-V spec)
+# ----------------------------------------------------------------------
+def test_known_encodings():
+    # addi x0, x0, 0 is the canonical NOP: 0x00000013
+    assert encode("addi", rd=0, rs1=0, imm=0) == 0x00000013
+    # add x1, x2, x3
+    assert encode("add", rd=1, rs1=2, rs2=3) == 0x003100B3
+    # lui x5, 0x12345
+    assert encode("lui", rd=5, imm=0x12345) == 0x123452B7
+    # ecall / ebreak
+    assert encode("ecall") == 0x00000073
+    assert encode("ebreak") == 0x00100073
+
+
+def test_branch_immediate_scrambling():
+    # beq x1, x2, +16 : imm[12|10:5] rs2 rs1 000 imm[4:1|11] 1100011
+    word = encode("beq", rs1=1, rs2=2, imm=16)
+    assert decode(word)["imm"] == 16
+    word = encode("beq", rs1=1, rs2=2, imm=-16)
+    assert decode(word)["imm"] == -16
+
+
+def test_jal_immediate_scrambling():
+    for imm in (0, 2, -2, 4094, -4096, (1 << 20) - 2, -(1 << 20)):
+        assert decode(encode("jal", rd=1, imm=imm))["imm"] == imm
+
+
+def test_shift_amount_range_checked():
+    with pytest.raises(ValueError):
+        encode("slli", rd=1, rs1=1, imm=32)
+
+
+def test_immediate_range_checked():
+    with pytest.raises(ValueError):
+        encode("addi", rd=1, rs1=1, imm=2048)
+    with pytest.raises(ValueError):
+        encode("addi", rd=1, rs1=1, imm=-2049)
+    with pytest.raises(ValueError):
+        encode("beq", rs1=1, rs2=2, imm=3)  # odd branch offset
+
+
+def test_register_range_checked():
+    with pytest.raises(ValueError):
+        encode("add", rd=32, rs1=0, rs2=0)
+
+
+def test_decode_rejects_garbage():
+    with pytest.raises(ValueError):
+        decode(0xFFFFFFFF)
+
+
+def test_srai_vs_srli_distinguished():
+    srai = encode("srai", rd=1, rs1=2, imm=5)
+    srli = encode("srli", rd=1, rs1=2, imm=5)
+    assert srai != srli
+    assert decode(srai)["name"] == "srai"
+    assert decode(srli)["name"] == "srli"

@@ -1,0 +1,103 @@
+"""Tests for the Instruction value object (repro.isa.instructions)."""
+
+import pytest
+
+from repro.isa import NOP, Instruction
+from repro.isa.spec import ALL_MNEMONICS, InstrClass
+
+
+def test_nop_identity():
+    assert NOP.is_nop
+    assert NOP.name == "addi"
+    assert NOP.encode() == 0x00000013
+    assert not Instruction("addi", rd=1, rs1=0, imm=0).is_nop
+    assert not Instruction("addi", rd=0, rs1=0, imm=4).is_nop
+
+
+def test_unknown_mnemonic_rejected():
+    with pytest.raises(ValueError):
+        Instruction("madd", rd=1)
+
+
+def test_class_predicates():
+    assert Instruction("lw", rd=1, rs1=2).is_load
+    assert Instruction("sw", rs1=1, rs2=2).is_store
+    assert Instruction("beq", rs1=1, rs2=2, imm=8).is_branch
+    assert Instruction("jal", rd=1, imm=8).is_jump
+    assert Instruction("jalr", rd=1, rs1=2).is_jump
+    assert Instruction("mul", rd=1, rs1=2, rs2=3).is_muldiv
+    assert Instruction("beq", rs1=1, rs2=2, imm=8).is_control_flow
+    assert not Instruction("add", rd=1, rs1=2, rs2=3).is_control_flow
+
+
+def test_source_registers_by_format():
+    assert Instruction("add", rd=1, rs1=2, rs2=3).source_registers == (2, 3)
+    assert Instruction("addi", rd=1, rs1=2, imm=5).source_registers == (2,)
+    assert Instruction("sw", rs1=4, rs2=5).source_registers == (4, 5)
+    assert Instruction("beq", rs1=6, rs2=7, imm=8).source_registers == (6, 7)
+    assert Instruction("lui", rd=1, imm=1).source_registers == ()
+    assert Instruction("jal", rd=1, imm=8).source_registers == ()
+    assert Instruction("jalr", rd=1, rs1=2).source_registers == (2,)
+    assert Instruction("ecall").source_registers == ()
+
+
+def test_destination_register():
+    assert Instruction("add", rd=5, rs1=1, rs2=2).destination_register == 5
+    # x0 destination reported as None (write dropped)
+    assert Instruction("add", rd=0, rs1=1, rs2=2).destination_register \
+        is None
+    assert Instruction("sw", rs1=1, rs2=2).destination_register is None
+    assert Instruction("beq", rs1=1, rs2=2, imm=8).destination_register \
+        is None
+    assert Instruction("fence").destination_register is None
+
+
+def test_to_asm_round_trips_through_assembler():
+    from repro.isa import assemble
+    samples = [
+        Instruction("add", rd=1, rs1=2, rs2=3),
+        Instruction("addi", rd=1, rs1=2, imm=-7),
+        Instruction("slli", rd=4, rs1=5, imm=12),
+        Instruction("lw", rd=6, rs1=7, imm=16),
+        Instruction("sw", rs1=8, rs2=9, imm=-4),
+        Instruction("lui", rd=10, imm=0xABCDE),
+        Instruction("mul", rd=11, rs1=12, rs2=13),
+        Instruction("jalr", rd=1, rs1=2, imm=8),
+        Instruction("ecall"),
+    ]
+    source = "\n".join(instr.to_asm() for instr in samples)
+    program = assemble(source)
+    assert program.instructions == samples
+
+
+def _sample_instruction(name):
+    if name in ("ecall", "ebreak", "fence"):
+        return Instruction(name)
+    if name in ("slli", "srli", "srai"):
+        return Instruction(name, rd=1, rs1=2, imm=3)
+    probe = Instruction(name, rd=1, rs1=2, rs2=3)
+    if probe.is_branch:
+        return Instruction(name, rs1=2, rs2=3, imm=8)
+    if probe.fmt.value == "J":
+        return Instruction(name, rd=1, imm=8)
+    return probe
+
+
+def test_decode_every_mnemonic():
+    for name in ALL_MNEMONICS:
+        instr = _sample_instruction(name)
+        assert Instruction.decode(instr.encode()).name == name
+
+
+def test_instruction_classes_cover_table_one():
+    """The static classes match the paper's Table I family sizes."""
+    by_class = {}
+    for name in ALL_MNEMONICS:
+        cls = Instruction(name, rs1=1, rs2=2, imm=8
+                          if name in ("beq", "bne", "blt", "bge", "bltu",
+                                      "bgeu", "jal") else 0).cls
+        by_class.setdefault(cls, []).append(name)
+    assert len(by_class[InstrClass.MULDIV]) == 8    # Table I row 3
+    assert len(by_class[InstrClass.LOAD]) == 5      # Table I rows 4/6
+    assert len(by_class[InstrClass.STORE]) == 3     # Table I row 5
+    assert len(by_class[InstrClass.BRANCH]) == 6    # Table I row 7

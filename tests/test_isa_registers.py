@@ -1,0 +1,52 @@
+"""Tests for register naming (repro.isa.registers)."""
+
+import pytest
+
+from repro.isa.registers import (ABI_NAMES, NUM_REGISTERS, register_index,
+                                 register_name)
+
+
+def test_abi_names_count():
+    assert len(ABI_NAMES) == NUM_REGISTERS == 32
+
+
+def test_x_names_round_trip():
+    for index in range(32):
+        assert register_index(f"x{index}") == index
+
+
+def test_abi_names_round_trip():
+    for index, name in enumerate(ABI_NAMES):
+        assert register_index(name) == index
+        assert register_name(index) == name
+
+
+def test_fp_aliases_s0():
+    assert register_index("fp") == register_index("s0") == 8
+
+
+def test_case_insensitive_and_whitespace():
+    assert register_index(" T0 ") == 5
+    assert register_index("A0") == 10
+
+
+def test_known_registers():
+    assert register_index("zero") == 0
+    assert register_index("ra") == 1
+    assert register_index("sp") == 2
+    assert register_index("gp") == 3
+    assert register_index("t6") == 31
+
+
+def test_unknown_register_raises():
+    with pytest.raises(ValueError):
+        register_index("x32")
+    with pytest.raises(ValueError):
+        register_index("r5")
+
+
+def test_register_name_range_check():
+    with pytest.raises(ValueError):
+        register_name(-1)
+    with pytest.raises(ValueError):
+        register_name(32)

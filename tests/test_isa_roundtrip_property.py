@@ -1,0 +1,61 @@
+"""Property-based round trips: Instruction -> asm text -> assembler.
+
+Complements the encode/decode property tests: any instruction the
+generators can build must survive rendering to assembly text and
+re-assembly bit-for-bit.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import Instruction, assemble
+from repro.isa.spec import ALL_MNEMONICS, OPCODES, InstrFormat
+
+_REG = st.integers(0, 31)
+
+
+@st.composite
+def renderable_instructions(draw):
+    name = draw(st.sampled_from(ALL_MNEMONICS))
+    spec = OPCODES[name]
+    if name in ("ecall", "ebreak", "fence"):
+        return Instruction(name)
+    if name in ("slli", "srli", "srai"):
+        return Instruction(name, rd=draw(_REG), rs1=draw(_REG),
+                           imm=draw(st.integers(0, 31)))
+    if spec.fmt is InstrFormat.R:
+        return Instruction(name, rd=draw(_REG), rs1=draw(_REG),
+                           rs2=draw(_REG))
+    if spec.fmt is InstrFormat.I:
+        return Instruction(name, rd=draw(_REG), rs1=draw(_REG),
+                           imm=draw(st.integers(-2048, 2047)))
+    if spec.fmt is InstrFormat.S:
+        return Instruction(name, rs1=draw(_REG), rs2=draw(_REG),
+                           imm=draw(st.integers(-2048, 2047)))
+    if spec.fmt is InstrFormat.B:
+        # bare integer branch targets are pc-relative offsets
+        return Instruction(name, rs1=draw(_REG), rs2=draw(_REG),
+                           imm=draw(st.integers(-2000, 2000)) * 2)
+    if spec.fmt is InstrFormat.U:
+        return Instruction(name, rd=draw(_REG),
+                           imm=draw(st.integers(0, (1 << 20) - 1)))
+    return Instruction(name, rd=draw(_REG),
+                       imm=draw(st.integers(-2000, 2000)) * 2)  # J
+
+
+@given(renderable_instructions())
+@settings(max_examples=300, deadline=None)
+def test_single_instruction_round_trip(instr):
+    program = assemble(instr.to_asm())
+    assert program.instructions[0].encode() == instr.encode()
+
+
+@given(st.lists(renderable_instructions(), min_size=1, max_size=12))
+@settings(max_examples=60, deadline=None)
+def test_program_round_trip(instructions):
+    source = "\n".join(instr.to_asm() for instr in instructions)
+    program = assemble(source)
+    assert [i.encode() for i in program.instructions] == \
+        [i.encode() for i in instructions]
+    again = assemble(program.to_asm())
+    assert again.machine_code == program.machine_code

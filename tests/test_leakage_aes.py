@@ -1,0 +1,84 @@
+"""Tests for the AES-128 implementation (repro.leakage.aes)."""
+
+import pytest
+
+from repro.leakage.aes import (DEFAULT_KEY, FIPS_CIPHERTEXT, FIPS_KEY,
+                               FIPS_PLAINTEXT, SBOX, aes128_encrypt_reference,
+                               aes_program, key_schedule, read_ciphertext)
+from repro.uarch import GoldenSimulator, run_program
+
+
+def test_sbox_known_values():
+    # classic S-box spot checks
+    assert SBOX[0x00] == 0x63
+    assert SBOX[0x01] == 0x7C
+    assert SBOX[0x53] == 0xED
+    assert SBOX[0xFF] == 0x16
+    assert len(set(SBOX)) == 256  # a permutation
+
+
+def test_key_schedule_fips_vector():
+    round_keys = key_schedule(FIPS_KEY)
+    assert len(round_keys) == 11
+    assert round_keys[0] == list(FIPS_KEY)
+    # FIPS-197 appendix A.1: w[4..7] of the expanded key
+    assert round_keys[1][:4] == [0xA0, 0xFA, 0xFE, 0x17]
+    assert round_keys[10][12:] == [0xB6, 0x63, 0x0C, 0xA6]
+
+
+def test_key_schedule_rejects_bad_key():
+    with pytest.raises(ValueError):
+        key_schedule([0] * 15)
+
+
+def test_reference_matches_fips():
+    assert tuple(aes128_encrypt_reference(FIPS_KEY, FIPS_PLAINTEXT)) == \
+        FIPS_CIPHERTEXT
+
+
+def test_reference_rejects_bad_plaintext():
+    with pytest.raises(ValueError):
+        aes128_encrypt_reference(FIPS_KEY, [0] * 15)
+
+
+def test_golden_execution_matches_fips():
+    program = aes_program(FIPS_KEY, FIPS_PLAINTEXT)
+    golden = GoldenSimulator(program)
+    golden.run(max_steps=100_000)
+    assert golden.halted
+    assert tuple(read_ciphertext(golden.memory)) == FIPS_CIPHERTEXT
+
+
+def test_pipeline_execution_matches_fips():
+    program = aes_program(FIPS_KEY, FIPS_PLAINTEXT)
+    trace, core = run_program(program)
+    assert core.halted
+    assert tuple(read_ciphertext(core.memory.snapshot())) == \
+        FIPS_CIPHERTEXT
+
+
+def test_reduced_round_variant_matches_reference():
+    plaintext = list(range(16, 32))
+    program = aes_program(DEFAULT_KEY, plaintext, rounds=3)
+    golden = GoldenSimulator(program)
+    golden.run(max_steps=100_000)
+    expected = aes128_encrypt_reference(DEFAULT_KEY, plaintext, rounds=3)
+    assert read_ciphertext(golden.memory) == expected
+
+
+def test_cycle_count_is_data_independent():
+    """Required for TVLA trace alignment: the cache-warmed AES runs in
+    the same number of cycles for every plaintext."""
+    counts = set()
+    for seed in range(3):
+        plaintext = [(seed * 37 + i * 11) & 0xFF for i in range(16)]
+        trace, _ = run_program(aes_program(DEFAULT_KEY, plaintext,
+                                           rounds=2))
+        counts.add(trace.num_cycles)
+    assert len(counts) == 1
+
+
+def test_different_plaintexts_different_ciphertexts():
+    a = aes128_encrypt_reference(DEFAULT_KEY, [0] * 16)
+    b = aes128_encrypt_reference(DEFAULT_KEY, [1] + [0] * 15)
+    assert a != b

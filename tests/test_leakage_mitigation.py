@@ -1,0 +1,114 @@
+"""Tests for the branch-timing balancing pass (repro.leakage.mitigation)."""
+
+import pytest
+
+from repro.isa import Instruction, NOP, assemble
+from repro.leakage import (MitigationError, balance_branch_timing,
+                           duration_separation, recover_exponent)
+from repro.uarch import GoldenSimulator, run_program
+from repro.workloads import (RandomProgramBuilder, modexp_program,
+                             modexp_reference)
+
+
+def _golden_state(program):
+    golden = GoldenSimulator(program)
+    golden.run(max_steps=500_000)
+    assert golden.halted
+    return golden.registers, golden.memory
+
+
+def test_transform_preserves_modexp_result():
+    program = modexp_program(7, 0xBEEF, 40961)
+    balanced, report = balance_branch_timing(program)
+    assert report.transformed == 1
+    assert report.added_instructions == 3  # j + 2-instruction clone
+    registers, _ = _golden_state(balanced)
+    assert registers[13] == modexp_reference(7, 0xBEEF, 40961)
+
+
+def test_transform_closes_the_spa_channel():
+    secret = 0xD00D
+    program = modexp_program(7, secret, 40961)
+    balanced, _ = balance_branch_timing(program)
+    before, _ = run_program(program)
+    after, _ = run_program(balanced)
+    spa_before = recover_exponent(before, program)
+    spa_after = recover_exponent(after, balanced)
+    assert spa_before.exponent() == secret          # attack works...
+    assert spa_after.exponent() != secret           # ...and is defeated
+    assert duration_separation(spa_after.durations) < \
+        duration_separation(spa_before.durations) - 3
+
+
+def test_clone_discards_results():
+    """The dummy path writes only x0: architectural state is identical
+    whether the branch is taken or not (beyond the real semantics)."""
+    source = """
+    li t0, 0
+    li t1, 7
+    beqz t0, skip
+    mul t1, t1, t1
+    add t2, t1, t1
+skip:
+    ebreak
+    """
+    program = assemble(source)
+    balanced, report = balance_branch_timing(program)
+    assert report.transformed == 1
+    base_regs, _ = _golden_state(program)
+    balanced_regs, _ = _golden_state(balanced)
+    assert base_regs == balanced_regs
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_programs_keep_semantics(seed):
+    program = RandomProgramBuilder(seed=seed,
+                                   include_memory=False).program(60)
+    balanced, _ = balance_branch_timing(program)
+    assert _golden_state(program)[0] == _golden_state(balanced)[0]
+
+
+def test_memory_blocks_are_not_transformed():
+    source = """
+    li t0, 1
+    li t1, 0x10000
+    beqz t0, skip
+    lw t2, 0(t1)
+skip:
+    ebreak
+    """
+    program = assemble(source)
+    balanced, report = balance_branch_timing(program)
+    assert report.transformed == 0  # loads cannot be cloned safely
+    assert balanced.machine_code == program.machine_code
+
+
+def test_indirect_jumps_rejected():
+    program = assemble("la t0, end\njalr zero, 0(t0)\nend:\nebreak")
+    with pytest.raises(MitigationError):
+        balance_branch_timing(program)
+
+
+def test_backward_branches_untouched():
+    source = """
+    li t0, 3
+loop:
+    addi t0, t0, -1
+    bnez t0, loop
+    ebreak
+    """
+    program = assemble(source)
+    balanced, report = balance_branch_timing(program)
+    assert report.transformed == 0
+    assert balanced.machine_code == program.machine_code
+
+
+def test_symbols_relocated():
+    program = modexp_program(7, 0xAB, 40961, bits=8)
+    balanced, _ = balance_branch_timing(program)
+    from repro.workloads import DONE_SYMBOL, LOOP_SYMBOL
+    # the loop head is before the insertion: unchanged; the done label
+    # sits after it: shifted by the inserted instructions
+    assert balanced.symbols[LOOP_SYMBOL] == program.symbols[LOOP_SYMBOL]
+    assert balanced.symbols[DONE_SYMBOL] == \
+        program.symbols[DONE_SYMBOL] + 12

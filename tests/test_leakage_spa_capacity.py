@@ -1,0 +1,156 @@
+"""Tests for modexp, SPA key recovery, and leakage-capacity tools."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.leakage import (InstructionProfiler, capacity_per_cycle,
+                           duration_separation, mutual_information,
+                           recover_exponent)
+from repro.uarch import GoldenSimulator, run_program
+from repro.workloads import modexp_program, modexp_reference
+
+
+# ----------------------------------------------------------------------
+# modular exponentiation workload
+# ----------------------------------------------------------------------
+@given(st.integers(2, 60000), st.integers(0, 65535),
+       st.integers(3, 60000))
+@settings(max_examples=40, deadline=None)
+def test_modexp_reference_matches_pow(base, exponent, modulus):
+    assert modexp_reference(base, exponent, modulus) == \
+        pow(base % modulus, exponent, modulus) % modulus \
+        if exponent else modexp_reference(base, exponent, modulus) == \
+        1 % modulus
+
+
+@pytest.mark.parametrize("constant_time", [False, True])
+@pytest.mark.parametrize("exponent", [1, 0x8000, 0xBEEF, 0xFFFF])
+def test_modexp_program_computes_correctly(constant_time, exponent):
+    program = modexp_program(7, exponent, 40961,
+                             constant_time=constant_time)
+    golden = GoldenSimulator(program)
+    golden.run(max_steps=100_000)
+    assert golden.halted
+    assert golden.registers[13] == modexp_reference(7, exponent, 40961)
+    # result also stored to memory
+    assert golden._read(0x10000, 4, False) == \
+        modexp_reference(7, exponent, 40961)
+
+
+def test_modexp_validation():
+    with pytest.raises(ValueError):
+        modexp_program(7, 5, 1 << 17)   # modulus too wide
+    with pytest.raises(ValueError):
+        modexp_program(7, 1 << 16, 40961)  # exponent too wide
+
+
+def test_leaky_timing_depends_on_key_weight():
+    heavy, _ = run_program(modexp_program(7, 0xFFFF, 40961))
+    light, _ = run_program(modexp_program(7, 0x0001, 40961))
+    assert heavy.num_cycles > light.num_cycles + 50
+
+
+def test_constant_time_timing_is_flat():
+    heavy, _ = run_program(modexp_program(7, 0xFFFF, 40961,
+                                          constant_time=True))
+    light, _ = run_program(modexp_program(7, 0x0001, 40961,
+                                          constant_time=True))
+    assert abs(heavy.num_cycles - light.num_cycles) <= 2
+
+
+# ----------------------------------------------------------------------
+# SPA recovery
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("exponent", [0xDEAD, 0xB00F, 0x5555, 0x8001])
+def test_spa_recovers_leaky_exponent(exponent):
+    program = modexp_program(7, exponent, 40961)
+    trace, _ = run_program(program)
+    result = recover_exponent(trace, program)
+    assert result.exponent() == exponent
+    assert len(result.recovered_bits) == 16
+
+
+def test_spa_fails_against_constant_time():
+    exponent = 0xDEAD
+    program = modexp_program(7, exponent, 40961, constant_time=True)
+    trace, _ = run_program(program)
+    result = recover_exponent(trace, program)
+    assert result.exponent() != exponent
+
+
+def test_duration_separation_quantifies_the_countermeasure():
+    leaky = modexp_program(7, 0xCAFE, 40961)
+    hardened = modexp_program(7, 0xCAFE, 40961, constant_time=True)
+    leaky_trace, _ = run_program(leaky)
+    hardened_trace, _ = run_program(hardened)
+    leaky_sep = duration_separation(
+        recover_exponent(leaky_trace, leaky).durations)
+    hardened_sep = duration_separation(
+        recover_exponent(hardened_trace, hardened).durations)
+    assert leaky_sep > hardened_sep + 3.0
+
+
+# ----------------------------------------------------------------------
+# mutual information
+# ----------------------------------------------------------------------
+def test_mutual_information_bounds(rng):
+    secrets = rng.integers(0, 2, 2000)
+    independent = rng.normal(size=2000)
+    dependent = secrets.astype(float)
+    assert mutual_information(secrets, independent) < 0.05
+    assert mutual_information(secrets, dependent) > 0.8
+    assert mutual_information(secrets, dependent) <= 1.0 + 1e-6
+
+
+def test_mutual_information_validation(rng):
+    with pytest.raises(ValueError):
+        mutual_information([1, 0], [0.5, 0.7, 0.9])
+    with pytest.raises(ValueError):
+        mutual_information([1, 0], [0.5, 0.7])
+
+
+def test_capacity_per_cycle_localizes_leak(rng):
+    spc = 4
+    secrets = rng.integers(0, 2, 300)
+    traces = []
+    for secret in secrets:
+        trace = rng.normal(0, 0.05, 10 * spc)
+        trace[5 * spc:6 * spc] += secret  # cycle 5 carries the secret
+        traces.append(trace)
+    capacity = capacity_per_cycle(secrets, traces, spc)
+    assert capacity.argmax() == 5
+    assert capacity[5] > 0.5
+    assert np.delete(capacity, 5).max() < 0.2
+
+
+# ----------------------------------------------------------------------
+# instruction profiling
+# ----------------------------------------------------------------------
+def test_profiler_recognizes_instruction_classes(device):
+    from repro.core import isolation_probe, probe_instruction_seq
+
+    def examples(name, values):
+        cases = []
+        for rs1, rs2 in values:
+            probe = isolation_probe(name, rs1_value=rs1, rs2_value=rs2)
+            measurement = device.capture_ideal(probe)
+            seq = probe_instruction_seq(probe)
+            start = min(measurement.trace.cycles_of(seq, "F"))
+            cases.append((measurement.signal, start))
+        return cases
+
+    classes = ("mul", "lw", "sw")
+    train = {name: examples(name, [(3, 5), (17, 9), (250, 97)])
+             for name in classes}
+    test = {name: examples(name, [(7, 2), (1000, 13)])
+            for name in classes}
+    profiler = InstructionProfiler(samples_per_cycle=20).fit(train)
+    assert profiler.accuracy(test) >= 0.8
+
+
+def test_profiler_requires_fit():
+    profiler = InstructionProfiler(samples_per_cycle=20)
+    with pytest.raises(ValueError):
+        profiler.classify(np.zeros(200), 0)

@@ -1,0 +1,76 @@
+"""Tests for reconstruction kernels (repro.signal.kernels)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.signal.kernels import (DampedSineKernel, ExpKernel, RectKernel,
+                                  make_kernel)
+
+
+def test_rect_kernel_is_unit_pulse():
+    kernel = RectKernel()
+    tau = np.array([-0.5, 0.0, 0.5, 0.999, 1.0, 2.0])
+    assert np.array_equal(kernel.evaluate(tau), [0, 1, 1, 1, 0, 0])
+
+
+def test_exp_kernel_decays():
+    kernel = ExpKernel(theta=4.0)
+    tau = np.linspace(0, 3, 50)
+    values = kernel.evaluate(tau)
+    assert values[0] == 1.0
+    assert np.all(np.diff(values) < 0)
+    assert kernel.evaluate(np.array([-0.01]))[0] == 0.0
+
+
+def test_damped_sine_oscillates_and_decays():
+    kernel = DampedSineKernel(t0=0.25, theta=4.0)
+    tau = np.linspace(0, 1, 400)
+    values = kernel.evaluate(tau)
+    signs = np.sign(values[1:])
+    crossings = int(np.sum(signs[1:] != signs[:-1]))
+    assert crossings >= 6  # about 4 oscillation periods in one cycle
+    # envelope decays
+    assert np.max(np.abs(values[300:])) < np.max(np.abs(values[:100]))
+    assert kernel.evaluate(np.array([-1e-9]))[0] == 0.0
+
+
+def test_damped_sine_phase_shifts_waveform():
+    base = DampedSineKernel(phase=0.0)
+    shifted = DampedSineKernel(phase=np.pi)
+    tau = np.linspace(0.01, 0.2, 50)
+    assert np.allclose(base.evaluate(tau), -shifted.evaluate(tau),
+                       atol=1e-12)
+
+
+def test_sampled_length_matches_support():
+    kernel = DampedSineKernel(support_cycles=3.0)
+    assert len(kernel.sampled(20)) == 60
+    assert len(kernel.sampled(7)) == 21
+
+
+def test_sampled_starts_at_zero_for_sine():
+    kernel = DampedSineKernel(phase=0.0)
+    assert kernel.sampled(20)[0] == 0.0
+
+
+def test_make_kernel_factory():
+    assert isinstance(make_kernel("rect"), RectKernel)
+    assert isinstance(make_kernel("exp", theta=2.0), ExpKernel)
+    kernel = make_kernel("damped-sine", t0=0.3)
+    assert isinstance(kernel, DampedSineKernel)
+    assert kernel.t0 == 0.3
+    with pytest.raises(ValueError):
+        make_kernel("wavelet")
+
+
+@given(st.floats(0.1, 0.5), st.floats(1.0, 8.0),
+       st.floats(-np.pi, np.pi))
+@settings(max_examples=60, deadline=None)
+def test_kernel_causal_and_bounded(t0, theta, phase):
+    kernel = DampedSineKernel(t0=t0, theta=theta, phase=phase)
+    tau = np.linspace(-2, 5, 300)
+    values = kernel.evaluate(tau)
+    assert np.all(values[tau < 0] == 0.0)
+    assert np.all(np.abs(values) <= 1.0 + 1e-12)

@@ -1,0 +1,116 @@
+"""Tests for the modulo operation, scope model and filters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.signal import (DampedSineKernel, Oscilloscope, ScopeConfig,
+                          fold_repetitions, gaussian_smooth,
+                          modular_offsets, modulo_average, moving_average,
+                          reconstruct, reconstruct_at,
+                          simulation_accuracy)
+
+KERNEL = DampedSineKernel()
+SPC = 20
+
+
+def test_modular_offsets_eq1():
+    times = np.array([0.0, 1.5, 10.0, 10.25])
+    offsets = modular_offsets(times, period=10.0)
+    assert np.allclose(offsets, [0.0, 1.5, 0.0, 0.25])
+
+
+def test_modulo_average_folds_periodic_signal():
+    period, bins = 8.0, 64
+    rng = np.random.default_rng(0)
+    times = np.sort(rng.uniform(0, 20 * period, 40000))
+    clean = np.sin(2 * np.pi * times / period)
+    noisy = clean + rng.normal(0, 0.3, size=times.shape)
+    reference, counts = modulo_average(noisy, times, period, bins)
+    grid = (np.arange(bins) / bins) * period
+    expected = np.sin(2 * np.pi * grid / period)
+    assert counts.sum() == len(times)
+    assert np.max(np.abs(reference - expected)) < 0.1
+
+
+def test_modulo_average_interpolates_empty_bins():
+    # integer sampling: only a few distinct offsets land in bins
+    times = np.arange(0, 400, 1.0)
+    samples = np.cos(2 * np.pi * times / 4.0)
+    reference, counts = modulo_average(samples, times, period=4.0,
+                                       num_bins=32)
+    assert (counts == 0).any()
+    assert np.isfinite(reference).all()
+
+
+def test_modulo_average_requires_samples():
+    with pytest.raises(ValueError):
+        modulo_average(np.array([]), np.array([]), 4.0, 8)
+
+
+def test_scope_capture_shapes_and_quantization():
+    scope = Oscilloscope(ScopeConfig(samples_per_cycle=8.0,
+                                     noise_rms=0.0, adc_bits=6,
+                                     trigger_jitter_cycles=0.0),
+                         np.random.default_rng(0))
+    times, samples = scope.capture(lambda t: np.sin(t), 10.0)
+    assert len(times) == len(samples) == int(10 * 8.0 * (1 + 1.37e-3))
+    step = 4.0 / 2 ** 6
+    assert np.allclose(np.round(samples / step), samples / step)
+
+
+def test_scope_noise_statistics():
+    scope = Oscilloscope(ScopeConfig(samples_per_cycle=50.0,
+                                     noise_rms=0.1, adc_bits=14),
+                         np.random.default_rng(1))
+    _, samples = scope.capture(lambda t: np.zeros_like(t), 200.0)
+    assert 0.08 < samples.std() < 0.12
+
+
+def test_full_capture_chain_recovers_reference(rng):
+    amplitudes = rng.uniform(0.2, 1.5, 30)
+    ideal = reconstruct(amplitudes, KERNEL, SPC)
+    scope = Oscilloscope(ScopeConfig(samples_per_cycle=7.0,
+                                     noise_rms=0.05),
+                         np.random.default_rng(2))
+    times, samples = scope.capture_repetitions(
+        lambda t: reconstruct_at(amplitudes, KERNEL, t), 30.0, 300)
+    reference = fold_repetitions(samples, times, clock_period=1.0,
+                                 num_cycles=30, samples_per_cycle=SPC)
+    assert simulation_accuracy(ideal, reference, SPC) > 0.95
+
+
+def test_moving_average_preserves_mean():
+    signal = np.arange(100, dtype=float)
+    smoothed = moving_average(signal, 5)
+    assert abs(smoothed.mean() - signal.mean()) < 0.5
+    assert len(smoothed) == len(signal)
+
+
+def test_moving_average_rejects_bad_window():
+    with pytest.raises(ValueError):
+        moving_average(np.ones(10), 0)
+
+
+def test_gaussian_smooth_reduces_noise_keeps_dc():
+    rng = np.random.default_rng(3)
+    signal = 1.0 + rng.normal(0, 0.5, 500)
+    smoothed = gaussian_smooth(signal, sigma=4.0)
+    assert smoothed.std() < signal.std() / 2
+    assert abs(smoothed.mean() - 1.0) < 0.1
+    assert len(smoothed) == len(signal)
+
+
+def test_gaussian_smooth_rejects_bad_sigma():
+    with pytest.raises(ValueError):
+        gaussian_smooth(np.ones(10), 0.0)
+
+
+@given(st.floats(2.0, 50.0), st.integers(8, 128))
+@settings(max_examples=30, deadline=None)
+def test_modulo_offsets_within_period(period, bins):
+    times = np.linspace(0, 1000, 777)
+    offsets = modular_offsets(times, period)
+    assert np.all(offsets >= 0)
+    assert np.all(offsets < period)

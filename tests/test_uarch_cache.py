@@ -1,0 +1,108 @@
+"""Tests for the data cache (repro.uarch.cache)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uarch import CacheConfig, DataCache
+
+
+def small_cache(ways=2, sets=4, line=16):
+    return DataCache(CacheConfig(size_bytes=ways * sets * line,
+                                 line_bytes=line, ways=ways))
+
+
+def test_geometry():
+    config = CacheConfig()  # the paper's 32 KB cache
+    assert config.size_bytes == 32 * 1024
+    assert config.num_sets * config.ways * config.line_bytes == \
+        config.size_bytes
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(ValueError):
+        CacheConfig(size_bytes=1000, line_bytes=32, ways=2)
+    with pytest.raises(ValueError):
+        CacheConfig(size_bytes=1024, line_bytes=24, ways=2)
+
+
+def test_cold_miss_then_hit():
+    cache = small_cache()
+    assert cache.access(0x100, is_store=False) is False
+    assert cache.access(0x100, is_store=False) is True
+    assert cache.access(0x10F, is_store=False) is True  # same line
+    assert cache.access(0x110, is_store=False) is False  # next line
+    assert cache.hits == 2 and cache.misses == 2
+
+
+def test_lru_eviction():
+    cache = small_cache(ways=2, sets=1, line=16)
+    cache.access(0x000, False)          # A
+    cache.access(0x010, False)          # B
+    cache.access(0x000, False)          # touch A -> B becomes LRU
+    cache.access(0x020, False)          # C evicts B
+    assert cache.access(0x000, False) is True    # A survives
+    assert cache.access(0x010, False) is False   # B was evicted
+
+
+def test_dirty_writeback_counted():
+    cache = small_cache(ways=1, sets=1, line=16)
+    cache.access(0x000, is_store=True)   # dirty line
+    cache.access(0x010, is_store=False)  # evicts dirty -> writeback
+    assert cache.writebacks == 1
+    cache.access(0x020, is_store=False)  # evicts clean -> no writeback
+    assert cache.writebacks == 1
+
+
+def test_probe_is_non_destructive():
+    cache = small_cache()
+    assert cache.probe(0x40) is False
+    assert cache.misses == 0
+    cache.access(0x40, False)
+    assert cache.probe(0x40) is True
+    assert cache.hits == 0 and cache.misses == 1
+
+
+def test_flush_resets():
+    cache = small_cache()
+    cache.access(0x40, False)
+    cache.flush()
+    assert cache.accesses == 0
+    assert cache.access(0x40, False) is False
+
+
+def test_warm_prefills():
+    cache = small_cache()
+    cache.warm([0x100, 0x200])
+    cache.hits = cache.misses = 0
+    assert cache.access(0x100, False) is True
+    assert cache.access(0x200, False) is True
+
+
+@given(st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_occupancy_invariant(addresses):
+    """No set ever holds more lines than its associativity, and repeated
+    access to the same address always hits after a miss."""
+    cache = small_cache(ways=2, sets=4, line=16)
+    for address in addresses:
+        cache.access(address, is_store=False)
+        for lines in cache._sets.values():
+            assert len(lines) <= 2
+        assert cache.probe(address)
+    assert cache.accesses == len(addresses)
+
+
+@given(st.lists(st.integers(0, 0x3FF), min_size=2, max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_small_working_set_all_hits_after_warmup(addresses):
+    """A working set that fits entirely in the cache never misses after
+    the first pass."""
+    cache = DataCache(CacheConfig(size_bytes=32 * 1024, line_bytes=32,
+                                  ways=2))
+    for address in addresses:
+        cache.access(address, False)
+    cache_hits_before = cache.hits
+    for address in addresses:
+        assert cache.access(address, False) is True
+    assert cache.hits == cache_hits_before + len(addresses)

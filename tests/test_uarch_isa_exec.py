@@ -1,0 +1,193 @@
+"""Tests for architectural semantics (repro.uarch.isa_exec)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import Instruction, assemble
+from repro.uarch.isa_exec import (GoldenSimulator, alu_result, branch_taken,
+                                  muldiv_result)
+
+MASK32 = 0xFFFFFFFF
+u32 = st.integers(0, MASK32)
+
+
+def _signed(value):
+    return value - (1 << 32) if value & (1 << 31) else value
+
+
+# ----------------------------------------------------------------------
+# ALU semantics
+# ----------------------------------------------------------------------
+@given(u32, u32)
+def test_add_sub_wraparound(a, b):
+    add = Instruction("add", rd=1, rs1=2, rs2=3)
+    sub = Instruction("sub", rd=1, rs1=2, rs2=3)
+    assert alu_result(add, a, b, 0) == (a + b) & MASK32
+    assert alu_result(sub, a, b, 0) == (a - b) & MASK32
+
+
+@given(u32, u32)
+def test_logic_ops(a, b):
+    for name, expected in (("and", a & b), ("or", a | b), ("xor", a ^ b)):
+        instr = Instruction(name, rd=1, rs1=2, rs2=3)
+        assert alu_result(instr, a, b, 0) == expected
+
+
+@given(u32, u32)
+def test_comparisons(a, b):
+    slt = Instruction("slt", rd=1, rs1=2, rs2=3)
+    sltu = Instruction("sltu", rd=1, rs1=2, rs2=3)
+    assert alu_result(slt, a, b, 0) == int(_signed(a) < _signed(b))
+    assert alu_result(sltu, a, b, 0) == int(a < b)
+
+
+@given(u32, st.integers(0, 31))
+def test_shifts(a, shamt):
+    sll = Instruction("slli", rd=1, rs1=2, imm=shamt)
+    srl = Instruction("srli", rd=1, rs1=2, imm=shamt)
+    sra = Instruction("srai", rd=1, rs1=2, imm=shamt)
+    assert alu_result(sll, a, 0, 0) == (a << shamt) & MASK32
+    assert alu_result(srl, a, 0, 0) == a >> shamt
+    assert alu_result(sra, a, 0, 0) == (_signed(a) >> shamt) & MASK32
+
+
+def test_lui_auipc_jal_link():
+    lui = Instruction("lui", rd=1, imm=0xABCDE)
+    assert alu_result(lui, 0, 0, 0) == 0xABCDE000
+    auipc = Instruction("auipc", rd=1, imm=1)
+    assert alu_result(auipc, 0, 0, 0x100) == 0x1100
+    jal = Instruction("jal", rd=1, imm=8)
+    assert alu_result(jal, 0, 0, 0x200) == 0x204
+
+
+# ----------------------------------------------------------------------
+# M extension
+# ----------------------------------------------------------------------
+@given(u32, u32)
+@settings(max_examples=300)
+def test_mul_matches_python(a, b):
+    assert muldiv_result("mul", a, b) == (_signed(a) * _signed(b)) & MASK32
+    assert muldiv_result("mulhu", a, b) == (a * b) >> 32
+    assert muldiv_result("mulh", a, b) == \
+        ((_signed(a) * _signed(b)) >> 32) & MASK32
+    assert muldiv_result("mulhsu", a, b) == \
+        ((_signed(a) * b) >> 32) & MASK32
+
+
+@given(u32, u32)
+@settings(max_examples=300)
+def test_div_rem_invariant(a, b):
+    """RISC-V invariant: div*b + rem == a (when b != 0, no overflow)."""
+    if b == 0:
+        assert muldiv_result("div", a, b) == MASK32
+        assert muldiv_result("rem", a, b) == a
+        assert muldiv_result("divu", a, b) == MASK32
+        assert muldiv_result("remu", a, b) == a
+        return
+    quotient = _signed(muldiv_result("div", a, b))
+    remainder = _signed(muldiv_result("rem", a, b))
+    if not (_signed(a) == -(1 << 31) and _signed(b) == -1):
+        assert quotient * _signed(b) + remainder == _signed(a)
+        assert abs(remainder) < abs(_signed(b))
+    uq = muldiv_result("divu", a, b)
+    ur = muldiv_result("remu", a, b)
+    assert uq * b + ur == a
+
+
+def test_div_overflow_case():
+    minimum = 1 << 31  # -2^31 as unsigned
+    assert muldiv_result("div", minimum, MASK32) == minimum
+    assert muldiv_result("rem", minimum, MASK32) == 0
+
+
+# ----------------------------------------------------------------------
+# branches
+# ----------------------------------------------------------------------
+@given(u32, u32)
+def test_branch_conditions(a, b):
+    def taken(name):
+        return branch_taken(Instruction(name, rs1=1, rs2=2, imm=8), a, b)
+
+    assert taken("beq") == (a == b)
+    assert taken("bne") == (a != b)
+    assert taken("blt") == (_signed(a) < _signed(b))
+    assert taken("bge") == (_signed(a) >= _signed(b))
+    assert taken("bltu") == (a < b)
+    assert taken("bgeu") == (a >= b)
+    assert taken("blt") != taken("bge")
+    assert taken("bltu") != taken("bgeu")
+
+
+# ----------------------------------------------------------------------
+# golden interpreter
+# ----------------------------------------------------------------------
+def test_golden_fibonacci():
+    program = assemble("""
+    li t0, 10
+    li a0, 0
+    li a1, 1
+fib:
+    beqz t0, done
+    add t2, a0, a1
+    mv a0, a1
+    mv a1, t2
+    addi t0, t0, -1
+    j fib
+done:
+    ebreak
+    """)
+    golden = GoldenSimulator(program)
+    golden.run()
+    assert golden.registers[10] == 55  # fib(10)
+    assert golden.halted
+
+
+def test_golden_memory_sign_extension():
+    program = assemble("""
+.data
+.org 0x10000
+v: .byte 0x80
+.text
+    la t0, v
+    lb t1, 0(t0)
+    lbu t2, 0(t0)
+    ebreak
+    """)
+    golden = GoldenSimulator(program)
+    golden.run()
+    assert golden.registers[6] == 0xFFFFFF80
+    assert golden.registers[7] == 0x80
+
+
+def test_golden_store_load_round_trip():
+    program = assemble("""
+    li t0, 0x12345678
+    li t1, 0x10000
+    sw t0, 0(t1)
+    lh t2, 0(t1)
+    lhu t3, 2(t1)
+    ebreak
+    """)
+    golden = GoldenSimulator(program)
+    golden.run()
+    assert golden.registers[7] == 0x5678
+    assert golden.registers[28] == 0x1234
+
+
+def test_golden_halts_on_end_of_code():
+    program = assemble("nop\nnop")
+    golden = GoldenSimulator(program)
+    assert golden.run() == 2
+    assert golden.halted
+
+
+def test_golden_x0_never_written():
+    program = assemble("""
+    addi zero, zero, 5
+    add t0, zero, zero
+    ebreak
+    """)
+    golden = GoldenSimulator(program)
+    golden.run()
+    assert golden.registers[0] == 0
+    assert golden.registers[5] == 0

@@ -1,0 +1,156 @@
+"""Tests for the out-of-order core (repro.uarch.ooo, paper §VIII)."""
+
+import pytest
+
+from repro.isa import Instruction, assemble
+from repro.uarch import (CoreConfig, GoldenSimulator, OutOfOrderCore,
+                         run_program, run_program_ooo)
+from repro.workloads import ALL_KERNELS, RandomProgramBuilder, nop_padded
+
+
+def _assert_matches_golden(program, config=None):
+    golden = GoldenSimulator(program)
+    golden.run(max_steps=500_000)
+    assert golden.halted
+    trace, core = run_program_ooo(program, config=config or CoreConfig())
+    assert core.halted
+    for index in range(32):
+        assert golden.registers[index] == core.regfile.peek(index), \
+            f"x{index}"
+    pipe_memory = core.memory.snapshot()
+    for address, value in golden.memory.items():
+        assert pipe_memory.get(address, 0) == value
+    for address, value in pipe_memory.items():
+        assert golden.memory.get(address, 0) == value
+    assert golden.retired == trace.instructions_retired
+    return trace, core
+
+
+@pytest.mark.parametrize("name", sorted(ALL_KERNELS))
+def test_kernels_match_golden(name):
+    _assert_matches_golden(ALL_KERNELS[name]())
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_random_programs_match_golden(seed):
+    _assert_matches_golden(RandomProgramBuilder(seed=seed).program(100))
+
+
+def test_ooo_overlaps_independent_work():
+    """An independent ALU chain hides a long divide — the defining OoO
+    behaviour the in-order core cannot show."""
+    source = """
+    li t0, 1000
+    li t1, 7
+    div t2, t0, t1      # long-latency
+    addi t3, t3, 1      # independent chain
+    addi t3, t3, 1
+    addi t3, t3, 1
+    addi t3, t3, 1
+    addi t3, t3, 1
+    add t4, t2, t3      # joins the results
+    ebreak
+    """
+    program = assemble(source)
+    config = CoreConfig(div_latency=12)
+    ooo_trace, ooo_core = run_program_ooo(program, config=config)
+    in_trace, _ = run_program(program, config=config)
+    assert ooo_core.regfile.peek(29) == 1000 // 7 + 5
+    # the independent addi chain executes *while* the divide is busy
+    div_seq = next(index for index, instr
+                   in enumerate(program.instructions)
+                   if instr.name == "div")
+    div_done = max(ooo_trace.cycles_of(div_seq, "E"))
+    overlapped = sum(
+        1 for cycle, occ in enumerate(ooo_trace.occupancy["E"])
+        if cycle < div_done and occ.active and occ.instr is not None
+        and occ.instr.name == "addi")
+    assert overlapped >= 3
+    # the in-order core cannot overlap at all: its addis only enter
+    # Execute after the divide leaves it
+    in_div_cycles = in_trace.cycles_of(div_seq, "E")
+    in_addi_cycles = [cycle for cycle, occ
+                      in enumerate(in_trace.occupancy["E"])
+                      if occ.active and occ.instr is not None
+                      and occ.instr.name == "addi"
+                      and cycle > min(in_div_cycles)]
+    assert all(cycle > max(in_div_cycles) for cycle in in_addi_cycles)
+
+
+def test_ooo_faster_on_memory_bound_code():
+    from repro.workloads import dot_product
+    program = dot_product(12)
+    ooo_trace, _ = run_program_ooo(program)
+    in_trace, _ = run_program(program)
+    assert ooo_trace.num_cycles < in_trace.num_cycles
+
+
+def test_wrong_path_store_never_commits():
+    """A store younger than a mispredicted branch must not touch memory
+    — the OoO store-speculation guard."""
+    program = assemble("""
+    li t0, 1
+    li t1, 0x10300
+    bnez t0, skip      # taken; cold BTB -> mispredicted
+    sw t0, 0(t1)       # wrong path
+skip:
+    nop
+    ebreak
+    """)
+    _, core = run_program_ooo(program)
+    assert core.memory.load_word(0x10300) == 0
+
+
+def test_in_order_commit():
+    program = RandomProgramBuilder(seed=4).program(60)
+    trace, _ = run_program_ooo(program)
+    golden = GoldenSimulator(program)
+    order = []
+    while True:
+        instr = golden.step()
+        if instr is None:
+            break
+        order.append(instr)
+    assert [entry.instr for entry in trace.retired] == order
+    cycles = [entry.cycle for entry in trace.retired]
+    assert all(a <= b for a, b in zip(cycles, cycles[1:]))
+
+
+def test_rob_capacity_stalls_rename():
+    # a long divide at the head backs up the ROB
+    program = nop_padded([Instruction("div", rd=5, rs1=8, rs2=9)] +
+                         [Instruction("addi", rd=6, rs1=6, imm=1)] * 24,
+                         before=2, after=2)
+    config = CoreConfig(div_latency=30)
+    trace, core = run_program_ooo(program, config=config)
+    assert core.halted
+    rename_stalls = [stall for stall in trace.stalls
+                     if stall.stage == "D"]
+    assert rename_stalls  # the ROB filled up behind the divide
+
+
+def test_trace_schema_compatible_with_em_stack():
+    """The OoO trace feeds the emitter/EM model unchanged."""
+    from repro.hardware import HardwareDevice
+    program = ALL_KERNELS["checksum"](16)
+    device = HardwareDevice(core_kind="out-of-order")
+    measurement = device.capture_ideal(program)
+    assert measurement.num_cycles == measurement.trace.num_cycles
+    assert float((measurement.signal ** 2).mean()) > 0
+    for stage in ("F", "D", "E", "M", "W"):
+        assert len(measurement.trace.occupancy[stage]) == \
+            measurement.trace.num_cycles
+
+
+def test_unknown_core_kind_rejected():
+    from repro.hardware import HardwareDevice
+    with pytest.raises(ValueError):
+        HardwareDevice(core_kind="vliw")
+
+
+def test_ebreak_drains_rob():
+    program = assemble("li t0, 5\nmul t1, t0, t0\nebreak\nli t2, 9")
+    trace, core = run_program_ooo(program)
+    assert core.halted
+    assert core.regfile.peek(6) == 25
+    assert core.regfile.peek(7) == 0  # never fetched past ebreak

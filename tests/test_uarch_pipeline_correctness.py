@@ -1,0 +1,211 @@
+"""Architectural-correctness tests: pipeline vs golden interpreter.
+
+The pipelined core must compute exactly the same registers and memory as
+the sequential reference, for every hazard/forwarding/flush interleaving.
+"""
+
+import pytest
+
+from repro.isa import assemble
+from repro.uarch import CoreConfig, GoldenSimulator, Pipeline, run_program
+from repro.workloads import ALL_KERNELS, RandomProgramBuilder
+
+
+def _assert_matches_golden(program, config=None, max_steps=500_000):
+    golden = GoldenSimulator(program)
+    golden.run(max_steps=max_steps)
+    assert golden.halted, "golden model did not halt"
+    trace, core = run_program(program, config=config or CoreConfig())
+    assert core.halted, "pipeline did not halt"
+    for index in range(32):
+        assert golden.registers[index] == core.regfile.peek(index), \
+            f"x{index} mismatch"
+    golden_memory = golden.memory
+    pipe_memory = core.memory.snapshot()
+    for address, value in golden_memory.items():
+        assert pipe_memory.get(address, 0) == value, hex(address)
+    for address, value in pipe_memory.items():
+        assert golden_memory.get(address, 0) == value, hex(address)
+    assert golden.retired == trace.instructions_retired
+    return trace, core
+
+
+@pytest.mark.parametrize("name", sorted(ALL_KERNELS))
+def test_kernels_match_golden(name):
+    _assert_matches_golden(ALL_KERNELS[name]())
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_random_programs_match_golden(seed):
+    program = RandomProgramBuilder(seed=seed).program(120)
+    _assert_matches_golden(program)
+
+
+@pytest.mark.parametrize("forwarding", [True, False])
+def test_forwarding_configs_match_golden(forwarding):
+    program = RandomProgramBuilder(seed=99).program(100)
+    _assert_matches_golden(program,
+                           config=CoreConfig(forwarding=forwarding))
+
+
+@pytest.mark.parametrize("predictor", ["not-taken", "two-level", "gshare"])
+def test_predictors_match_golden(predictor):
+    program = RandomProgramBuilder(seed=7).program(100)
+    _assert_matches_golden(program, config=CoreConfig(predictor=predictor))
+
+
+def test_back_to_back_raw_dependency():
+    program = assemble("""
+    li t0, 5
+    addi t1, t0, 1
+    addi t2, t1, 1
+    addi t3, t2, 1
+    ebreak
+    """)
+    _, core = _assert_matches_golden(program)
+    assert core.regfile.peek(28) == 8
+
+
+def test_load_use_hazard():
+    program = assemble("""
+    li t1, 0x10000
+    li t2, 1234
+    sw t2, 0(t1)
+    lw t0, 0(t1)
+    addi t3, t0, 1
+    ebreak
+    """)
+    trace, core = _assert_matches_golden(program)
+    assert core.regfile.peek(28) == 1235
+    # the dependent addi must have stalled on the load
+    from repro.uarch import StallCause
+    causes = {stall.cause for stall in trace.stalls}
+    assert StallCause.LOAD_USE in causes
+
+
+def test_store_load_same_address():
+    program = assemble("""
+    li t1, 0x10100
+    li t2, 0xABC
+    sw t2, 0(t1)
+    lw t3, 0(t1)
+    ebreak
+    """)
+    _, core = _assert_matches_golden(program)
+    assert core.regfile.peek(28) == 0xABC
+
+
+def test_taken_loop_with_misprediction_recovery():
+    program = assemble("""
+    li t0, 6
+    li t1, 0
+loop:
+    add t1, t1, t0
+    addi t0, t0, -1
+    bnez t0, loop
+    ebreak
+    """)
+    trace, core = _assert_matches_golden(program)
+    assert core.regfile.peek(6) == 21  # 6+5+4+3+2+1
+    assert trace.mispredictions >= 1  # at least the final not-taken
+
+
+def test_jalr_indirect_call_and_return():
+    program = assemble("""
+    la t0, callee
+    jalr ra, 0(t0)
+    li t2, 7
+    ebreak
+callee:
+    li t1, 5
+    ret
+    """)
+    _, core = _assert_matches_golden(program)
+    assert core.regfile.peek(6) == 5
+    assert core.regfile.peek(7) == 7
+
+
+def test_mispredicted_wrong_path_side_effect_free():
+    """A wrong-path store must never reach memory."""
+    program = assemble("""
+    li t0, 1
+    li t1, 0x10200
+    beqz t0, never        # not taken, but predictor may guess taken later
+    j skip
+    sw t0, 0(t1)          # wrong-path / dead code
+never:
+    sw t0, 4(t1)
+skip:
+    ebreak
+    """)
+    _, core = _assert_matches_golden(program)
+    assert core.memory.load_word(0x10200) == 0
+    assert core.memory.load_word(0x10204) == 0
+
+
+def test_x0_writes_dropped_in_pipeline():
+    program = assemble("""
+    addi zero, zero, 7
+    add t0, zero, zero
+    ebreak
+    """)
+    _, core = _assert_matches_golden(program)
+    assert core.regfile.peek(0) == 0
+
+
+def test_muldiv_latencies_preserve_correctness():
+    program = assemble("""
+    li t0, 77
+    li t1, 13
+    mul t2, t0, t1
+    div t3, t2, t1
+    rem t4, t0, t1
+    ebreak
+    """)
+    for mul_lat, div_lat in ((1, 1), (3, 8), (8, 20)):
+        config = CoreConfig(mul_latency=mul_lat, div_latency=div_lat)
+        golden = GoldenSimulator(program)
+        golden.run()
+        _, core = run_program(program, config=config)
+        assert core.regfile.peek(7) == 77 * 13
+        assert core.regfile.peek(28) == 77
+        assert core.regfile.peek(29) == 77 % 13
+
+
+def test_retirement_is_in_program_order():
+    program = RandomProgramBuilder(seed=3).program(80)
+    trace, _ = run_program(program)
+    golden = GoldenSimulator(program)
+    golden_order = []
+    while True:
+        instr = golden.step()
+        if instr is None:
+            break
+        golden_order.append(instr)
+    retired = [entry.instr for entry in trace.retired]
+    assert retired == golden_order
+    # retirement cycles strictly increase
+    cycles = [entry.cycle for entry in trace.retired]
+    assert all(a < b for a, b in zip(cycles, cycles[1:]))
+
+
+def test_oracle_run_has_no_mispredictions():
+    from repro.uarch import collect_oracle
+    program = RandomProgramBuilder(seed=11).program(100)
+    oracle = collect_oracle(program)
+    trace, core = run_program(program, oracle=oracle)
+    assert trace.mispredictions == 0
+    assert not trace.flushes
+    golden = GoldenSimulator(program)
+    golden.run()
+    for index in range(32):
+        assert golden.registers[index] == core.regfile.peek(index)
+
+
+def test_oracle_run_is_never_slower():
+    from repro.uarch import collect_oracle
+    program = RandomProgramBuilder(seed=13).program(100)
+    normal, _ = run_program(program)
+    oracle_trace, _ = run_program(program,
+                                  oracle=collect_oracle(program))
+    assert oracle_trace.num_cycles <= normal.num_cycles

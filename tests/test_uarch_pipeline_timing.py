@@ -1,0 +1,261 @@
+"""Timing/event tests: the paper's microarchitectural signatures.
+
+Checks the exact stall/flush/occupancy behaviour that sections II and IV
+of the paper specify: cache hit = 1 extra cycle, miss = 2 further cycles,
+misprediction flushes 2 instructions, stalls freeze stage latches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.isa import Instruction, NOP, assemble
+from repro.uarch import (CacheConfig, CoreConfig, OCC_BUBBLE, OCC_STALL,
+                         StallCause, run_program)
+from repro.workloads import nop_padded
+
+
+def _m_cycles(trace, seq):
+    return trace.cycles_of(seq, "M")
+
+
+def test_nop_probe_flows_one_stage_per_cycle():
+    program = nop_padded([Instruction("add", rd=5, rs1=1, rs2=1)])
+    trace, _ = run_program(program)
+    seq = next(index for index, instr in
+               enumerate(program.instructions) if not instr.is_nop)
+    cycles = {stage: trace.cycles_of(seq, stage)
+              for stage in ("F", "D", "E", "M", "W")}
+    # one cycle per stage, consecutive
+    flat = [cycles[stage][0] for stage in ("F", "D", "E", "M", "W")]
+    assert all(len(cycles[stage]) == 1 for stage in cycles)
+    assert flat == list(range(flat[0], flat[0] + 5))
+
+
+def test_cache_hit_one_extra_cycle():
+    """'Cache-hit takes one extra cycle' (paper §II-A)."""
+    program = assemble("""
+    li t1, 0x10000
+    lw t0, 0(t1)      # cold miss, warms the line
+    nop
+    nop
+    nop
+    nop
+    lw t2, 0(t1)      # hit
+    nop
+    nop
+    nop
+    nop
+    ebreak
+    """)
+    trace, _ = run_program(program)
+    loads = [event for event in trace.cache_events]
+    assert [event.hit for event in loads] == [False, True]
+    miss_cycles = _m_cycles(trace, loads[0].seq)
+    hit_cycles = _m_cycles(trace, loads[1].seq)
+    assert len(hit_cycles) == 2   # 1 access + 1 extra (hit)
+    assert len(miss_cycles) == 4  # 1 access + 3 extra (miss: 1 + 2)
+
+
+def test_miss_stall_cycles_marked():
+    """Fig. 6: a miss shows 'total of three' stall cycles."""
+    program = assemble("""
+    li t1, 0x10000
+    lw t0, 0(t1)
+    nop
+    nop
+    nop
+    ebreak
+    """)
+    trace, _ = run_program(program)
+    seq = trace.cache_events[0].seq
+    kinds = [trace.occupancy["M"][cycle].kind
+             for cycle in _m_cycles(trace, seq)]
+    assert kinds == ["instr", "stall", "stall", "stall"]
+    causes = [stall.cause for stall in trace.stalls
+              if stall.stage == "M" and stall.seq == seq]
+    assert causes.count(StallCause.CACHE_MISS) == 3
+
+
+def test_configurable_cache_latencies():
+    config = CoreConfig(cache=CacheConfig(hit_extra_cycles=0,
+                                          miss_extra_cycles=5))
+    program = assemble("""
+    li t1, 0x10000
+    lw t0, 0(t1)
+    lw t2, 0(t1)
+    ebreak
+    """)
+    trace, _ = run_program(program, config=config)
+    miss_seq = trace.cache_events[0].seq
+    hit_seq = trace.cache_events[1].seq
+    assert len(_m_cycles(trace, miss_seq)) == 6
+    assert len(_m_cycles(trace, hit_seq)) == 1
+
+
+def test_mul_occupies_execute_for_latency_cycles():
+    config = CoreConfig(mul_latency=8)  # the paper's stretched Fig. 5 MUL
+    program = nop_padded([Instruction("mul", rd=5, rs1=1, rs2=1)])
+    trace, _ = run_program(program, config=config)
+    seq = next(index for index, instr in
+               enumerate(program.instructions) if not instr.is_nop)
+    e_cycles = trace.cycles_of(seq, "E")
+    assert len(e_cycles) == 8
+    kinds = [trace.occupancy["E"][cycle].kind for cycle in e_cycles]
+    assert kinds[0] == "instr"            # operand latch
+    assert kinds[-1] == "instr"           # result write
+    assert all(kind == OCC_STALL for kind in kinds[1:-1])
+    # upstream NOPs are frozen during the stall
+    d_kinds = [trace.occupancy["D"][cycle].kind for cycle in e_cycles[1:-1]]
+    assert all(kind == OCC_STALL for kind in d_kinds)
+
+
+def test_stalled_stage_latches_frozen():
+    """'No bit-flips occur in the stalled stages' (paper §IV)."""
+    config = CoreConfig(mul_latency=6)
+    program = nop_padded(
+        [Instruction("addi", rd=6, rs1=6, imm=77),
+         Instruction("mul", rd=5, rs1=6, rs2=6)], before=6, after=8)
+    trace, _ = run_program(program, config=config)
+    mul_seq = next(index for index, instr in
+                   enumerate(program.instructions)
+                   if instr.name == "mul")
+    e_cycles = trace.cycles_of(mul_seq, "E")
+    stall_cycles = e_cycles[1:-1]
+    for stage in ("F", "D"):
+        flips = trace.flip_counts(stage)
+        assert all(flips[cycle] == 0 for cycle in stall_cycles[1:]), stage
+
+
+def test_misprediction_flushes_two_instructions():
+    """'the processor has to flush the incorrectly fetched instructions'
+    — 2 bubbles with the 2-cycle resolution (paper §IV, Fig. 7)."""
+    program = assemble("""
+    li t0, 1
+    nop
+    nop
+    nop
+    bnez t0, target   # taken; first encounter -> BTB cold -> mispredict
+    addi t1, t1, 1
+    addi t2, t2, 1
+target:
+    nop
+    nop
+    nop
+    nop
+    ebreak
+    """)
+    trace, core = run_program(program)
+    assert trace.mispredictions == 1
+    flush = trace.flushes[0]
+    assert flush.flushed == 2
+    # the two cycles after the flush inject bubbles into D then E
+    assert trace.occupancy["D"][flush.cycle].kind == OCC_BUBBLE
+    assert trace.occupancy["E"][flush.cycle + 1].kind == OCC_BUBBLE
+    # wrong-path instructions never retire
+    assert core.regfile.peek(6) == 0
+    assert core.regfile.peek(7) == 0
+
+
+def test_predictor_learns_loop_branch():
+    program = assemble("""
+    li t0, 20
+loop:
+    addi t0, t0, -1
+    bnez t0, loop
+    ebreak
+    """)
+    trace, _ = run_program(program, config=CoreConfig(
+        predictor="two-level"))
+    events = [event for event in trace.branch_events]
+    # the loop branch executes 20 times; after warmup the 2-level
+    # predictor should stop mispredicting the taken back-edge
+    late = events[5:-1]
+    assert sum(event.mispredicted for event in late) == 0
+    # the final not-taken exit is mispredicted
+    assert events[-1].mispredicted
+
+
+def test_not_taken_predictor_mispredicts_every_taken_branch():
+    program = assemble("""
+    li t0, 5
+loop:
+    addi t0, t0, -1
+    bnez t0, loop
+    ebreak
+    """)
+    trace, _ = run_program(program,
+                           config=CoreConfig(predictor="not-taken"))
+    taken_events = [event for event in trace.branch_events if event.taken]
+    assert all(event.mispredicted for event in taken_events)
+
+
+def test_jal_costs_one_bubble_first_time_then_btb_hits():
+    program = assemble("""
+    li t0, 2
+again:
+    jal t1, hop
+hop:
+    addi t0, t0, -1
+    bnez t0, again
+    ebreak
+    """)
+    trace, _ = run_program(program)
+    # count F-stage bubbles injected right after each jal decode
+    jal_decodes = [cycle for cycle, occ in enumerate(trace.occupancy["D"])
+                   if occ.active and occ.instr is not None and
+                   occ.instr.name == "jal"]
+    assert len(jal_decodes) == 2
+    first, second = jal_decodes
+    assert trace.occupancy["F"][first].kind == OCC_BUBBLE   # redirect
+    assert trace.occupancy["F"][second].kind != OCC_BUBBLE  # BTB hit
+
+
+def test_forwarding_reduces_stalls():
+    source = """
+    li t0, 1
+    addi t1, t0, 1
+    addi t2, t1, 1
+    addi t3, t2, 1
+    addi t4, t3, 1
+    ebreak
+    """
+    program = assemble(source)
+    with_fw, _ = run_program(program, config=CoreConfig(forwarding=True))
+    without_fw, _ = run_program(program,
+                                config=CoreConfig(forwarding=False))
+    assert with_fw.num_cycles < without_fw.num_cycles
+    fw_stalls = sum(1 for stall in with_fw.stalls if stall.stage == "D")
+    no_fw_stalls = sum(1 for stall in without_fw.stalls
+                       if stall.stage == "D")
+    assert no_fw_stalls > fw_stalls
+
+
+def test_bubble_latches_settle_to_nop_pattern():
+    program = nop_padded([Instruction("addi", rd=5, rs1=0, imm=0x7FF)],
+                         before=3, after=10)
+    trace, _ = run_program(program)
+    # as the pipeline drains, transitions die down to the few control
+    # bits of the trailing ebreak settling into the bubble pattern
+    flips = trace.total_flip_counts()
+    assert flips.max() > 30          # the real work switched plenty
+    assert flips[-1] <= 10           # the drain is nearly silent
+
+
+def test_ebreak_stops_fetch():
+    program = assemble("""
+    li t0, 1
+    ebreak
+    li t0, 2
+    """)
+    trace, core = run_program(program)
+    assert core.regfile.peek(5) == 1  # the instruction after ebreak never
+    assert core.halted                # executed
+
+
+def test_cycle_counts_are_deterministic():
+    program = nop_padded([Instruction("mul", rd=5, rs1=1, rs2=1)])
+    first, _ = run_program(program)
+    second, _ = run_program(program)
+    assert first.num_cycles == second.num_cycles
+    assert np.array_equal(first.total_flip_counts(),
+                          second.total_flip_counts())
