@@ -19,11 +19,12 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .core import (EMSim, coverage_groups, load_model, save_model,
-                   train_emsim)
+from .core import (EMSim, Trainer, coverage_groups, load_model,
+                   save_model)
 from .hardware import BOARDS, HardwareDevice
 from .isa import assemble
 from .leakage import savat_pair
+from .robustness import FaultPlan, ReproError
 from .signal import simulation_accuracy
 from .uarch import DEFAULT_CONFIG
 
@@ -38,6 +39,20 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument("--board", default="de0-cv", choices=sorted(BOARDS))
     train.add_argument("--probes", type=int, default=20,
                        help="activity probes per class")
+    train.add_argument("--capture", default="ideal",
+                       choices=("ideal", "reference"),
+                       help="capture path: exact grid or the full "
+                            "scope + modulo pipeline")
+    train.add_argument("--repetitions", type=int, default=100,
+                       help="scope repetitions per reference capture")
+    train.add_argument("--fault-rate", type=float, default=0.0,
+                       help="inject bench faults at this per-capture "
+                            "rate (0 disables)")
+    train.add_argument("--fault-seed", type=int, default=1234,
+                       help="seed for the fault injector")
+    train.add_argument("--strict", action="store_true",
+                       help="fail instead of degrading to the ideal "
+                            "grid when a probe cannot be captured")
 
     simulate = commands.add_parser(
         "simulate", help="simulate the EM signal of an assembly program")
@@ -68,11 +83,24 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_train(args) -> int:
-    device = HardwareDevice(board=BOARDS[args.board])
+    fault_plan = None
+    if args.fault_rate > 0:
+        fault_plan = FaultPlan.preset(args.fault_rate,
+                                      seed=args.fault_seed)
+    device = HardwareDevice(board=BOARDS[args.board],
+                            fault_plan=fault_plan)
     print(f"training on {device.name} ...")
-    model = train_emsim(device, activity_probes_per_class=args.probes)
+    if fault_plan is not None:
+        print(f"fault injection: {fault_plan.describe()}")
+    trainer = Trainer(device=device,
+                      activity_probes_per_class=args.probes,
+                      capture_method=args.capture,
+                      repetitions=args.repetitions,
+                      strict=args.strict)
+    model = trainer.train()
     save_model(model, args.out)
     print(model.summary())
+    print(trainer.report.summary())
     print(f"model written to {args.out}")
     return 0
 
@@ -151,12 +179,23 @@ def _cmd_savat(args) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    :class:`~repro.robustness.errors.ReproError` subclasses map to
+    distinct nonzero exit codes (see ``repro/robustness/errors.py``) and
+    a one-line message on stderr, so scripted pipelines can tell a
+    corrupt model file from a failed acquisition without parsing
+    tracebacks.
+    """
     args = _build_parser().parse_args(argv)
     handlers = {"train": _cmd_train, "simulate": _cmd_simulate,
                 "accuracy": _cmd_accuracy, "savat": _cmd_savat,
                 "balance": _cmd_balance}
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exc.exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

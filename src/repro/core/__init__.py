@@ -17,10 +17,12 @@ from .microbench import (CLASS_MEMBERS, REPRESENTATIVES, all_combinations,
 from .model import EMSimModel
 from .persistence import (load_model, model_from_dict, model_to_dict,
                           save_model)
-from .regression import (LinearModel, fit_full, fit_linear,
-                         stepwise_select)
+from .regression import (LinearModel, RobustFitInfo, fit_full, fit_linear,
+                         fit_robust, fit_trimmed, irls_solve,
+                         mad_outlier_mask, stepwise_select)
 from .simulator import EMSim, SimulatedSignal
-from .training import Trainer, fit_beta, fit_kernel, train_emsim
+from .training import (Trainer, TrainingReport, fit_beta, fit_kernel,
+                       train_emsim)
 
 __all__ = [
     "ABLATIONS",
@@ -36,8 +38,10 @@ __all__ = [
     "ModelSwitches",
     "REPRESENTATIVES",
     "RegressionActivity",
+    "RobustFitInfo",
     "SimulatedSignal",
     "Trainer",
+    "TrainingReport",
     "UnitActivity",
     "agglomerative_cluster",
     "all_combinations",
@@ -51,8 +55,12 @@ __all__ = [
     "fit_full",
     "fit_kernel",
     "fit_linear",
+    "fit_robust",
+    "fit_trimmed",
+    "irls_solve",
     "isolation_probe",
     "load_model",
+    "mad_outlier_mask",
     "make_simulator",
     "model_from_dict",
     "model_to_dict",

@@ -18,6 +18,7 @@ import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..isa.instructions import Instruction, NOP
+from ..robustness.errors import ProbeError
 from ..isa.program import Program
 from ..workloads.generators import SCRATCH_WORDS, wrap_program
 
@@ -60,7 +61,7 @@ def _materialize(name: str, rd: int = PROBE_RD, rs1: int = PROBE_RS1,
     """Build one instruction of ``name`` with probe operand conventions."""
     members = {m for group in CLASS_MEMBERS.values() for m in group}
     if name not in members:
-        raise ValueError(f"not a probe-able mnemonic: {name!r}")
+        raise ProbeError(f"not a probe-able mnemonic: {name!r}")
     if name in CLASS_MEMBERS["branch"]:
         return Instruction(name, rs1=rs1, rs2=rs2, imm=branch_offset)
     if name in CLASS_MEMBERS["store"]:
@@ -151,7 +152,7 @@ def warmed_branch_probe(name: str, rs1_value: int = 0,
     :func:`probe_instruction_seq` + ``gap + 1`` for the measured seq.
     """
     if name not in CLASS_MEMBERS["branch"]:
-        raise ValueError(f"not a branch: {name!r}")
+        raise ProbeError(f"not a branch: {name!r}")
     branch = _materialize(name)
     code = (_load_setup(rs1_value, rs2_value) + [NOP] * padding +
             [branch] + [NOP] * gap + [branch] + [NOP] * padding)
@@ -177,7 +178,7 @@ def probe_instruction_seq(program: Program) -> int:
             continue
         if not instr.is_nop and instr.name != "ebreak":
             return index
-    raise ValueError("no probed instruction found")
+    raise ProbeError("no probed instruction found")
 
 
 # ----------------------------------------------------------------------

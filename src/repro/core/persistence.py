@@ -4,22 +4,40 @@ The paper envisions trained parameters being distributed "as a library
 (similar to that of for other properties such as power, timing, etc.)" —
 trained once per board, then reused by developers without measurement
 hardware.  Models serialize to a single JSON document.
+
+Because a model library outlives the machine that trained it, the file
+format is defensive: saves are atomic (a crash mid-write leaves the old
+file intact), every document carries a ``format_version`` plus a SHA-256
+payload checksum, and any corruption — truncation, tampering, garbage —
+surfaces as a :class:`~repro.robustness.errors.ModelFormatError` naming
+the file and the reason instead of a bare JSON traceback.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import tempfile
 from typing import Any, Dict
 
 import numpy as np
 
+from ..robustness.errors import ModelFormatError
 from ..signal.kernels import DampedSineKernel
 from .config import EMSimConfig, ModelSwitches
 from .factors import AverageActivity, RegressionActivity
 from .model import EMSimModel
 from .regression import LinearModel
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+"""Version 2 adds the ``checksum`` integrity field; version-1 documents
+(no checksum) are still accepted for backward compatibility."""
+
+SUPPORTED_VERSIONS = (1, 2)
+
+_REQUIRED_FIELDS = ("config", "amplitudes", "floors", "miso", "intercept",
+                    "nop_level", "beta", "alpha_models", "base_flips")
 
 
 def _linear_model_to_dict(model: LinearModel) -> Dict[str, Any]:
@@ -41,10 +59,23 @@ def _linear_model_from_dict(data: Dict[str, Any]) -> LinearModel:
         r_squared=float(data.get("r_squared", 0.0)))
 
 
+def payload_checksum(data: Dict[str, Any]) -> str:
+    """SHA-256 over the canonical JSON payload, ``checksum`` excluded.
+
+    Canonical means sorted keys and no whitespace, so the digest is
+    stable across pretty-printing and key-ordering differences.
+    """
+    payload = {key: value for key, value in data.items()
+               if key != "checksum"}
+    canonical = json.dumps(payload, sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 def model_to_dict(model: EMSimModel) -> Dict[str, Any]:
     """Serialize a trained model to plain JSON-safe data."""
     kernel = model.config.kernel
-    return {
+    data = {
         "format_version": FORMAT_VERSION,
         "trained_on": model.trained_on,
         "config": {
@@ -67,48 +98,122 @@ def model_to_dict(model: EMSimModel) -> Dict[str, Any]:
                          model.regression_activity.models.items()},
         "base_flips": model.average_activity.base_flips,
     }
+    data["checksum"] = payload_checksum(data)
+    return data
 
 
-def model_from_dict(data: Dict[str, Any]) -> EMSimModel:
-    """Rebuild a trained model from :func:`model_to_dict` output."""
-    if data.get("format_version") != FORMAT_VERSION:
-        raise ValueError(f"unsupported model format: "
-                         f"{data.get('format_version')!r}")
-    config_data = data["config"]
-    config = EMSimConfig(
-        samples_per_cycle=int(config_data["samples_per_cycle"]),
-        kernel=DampedSineKernel(**config_data["kernel"]),
-        switches=ModelSwitches(),
-        stepwise_f_threshold=float(config_data["stepwise_f_threshold"]),
-        stepwise_max_features=int(config_data["stepwise_max_features"]))
-    return EMSimModel(
-        config=config,
-        amplitudes={(entry["cls"], entry["stage"]): float(entry["value"])
-                    for entry in data["amplitudes"]},
-        floors={stage: float(value)
-                for stage, value in data["floors"].items()},
-        miso={stage: float(value)
-              for stage, value in data["miso"].items()},
-        intercept=float(data["intercept"]),
-        nop_level=float(data["nop_level"]),
-        beta={stage: float(value)
-              for stage, value in data["beta"].items()},
-        regression_activity=RegressionActivity(models={
-            stage: _linear_model_from_dict(linear)
-            for stage, linear in data["alpha_models"].items()}),
-        average_activity=AverageActivity(base_flips={
-            stage: float(value)
-            for stage, value in data["base_flips"].items()}),
-        trained_on=str(data.get("trained_on", "")))
+def model_from_dict(data: Dict[str, Any],
+                    path: str = "<memory>") -> EMSimModel:
+    """Rebuild a trained model from :func:`model_to_dict` output.
+
+    ``path`` is only used for error messages; pass the source filename
+    when loading from disk so corruption reports name the file.
+    """
+    if not isinstance(data, dict):
+        raise ModelFormatError(
+            f"expected a JSON object, got {type(data).__name__}",
+            path=path)
+    version = data.get("format_version")
+    if version not in SUPPORTED_VERSIONS:
+        raise ModelFormatError(
+            f"unsupported model format: {version!r} "
+            f"(supported: {', '.join(map(str, SUPPORTED_VERSIONS))})",
+            path=path)
+    stored = data.get("checksum")
+    if stored is not None:
+        expected = payload_checksum(data)
+        if stored != expected:
+            raise ModelFormatError(
+                f"checksum mismatch (stored {stored[:12]}…, computed "
+                f"{expected[:12]}…) — file is corrupt or was edited",
+                path=path)
+    elif version >= 2:
+        raise ModelFormatError(
+            "format version 2 document has no checksum field "
+            "(truncated or hand-edited?)", path=path)
+    missing = [field for field in _REQUIRED_FIELDS if field not in data]
+    if missing:
+        raise ModelFormatError(
+            f"missing required fields: {', '.join(missing)}", path=path)
+    try:
+        config_data = data["config"]
+        config = EMSimConfig(
+            samples_per_cycle=int(config_data["samples_per_cycle"]),
+            kernel=DampedSineKernel(**config_data["kernel"]),
+            switches=ModelSwitches(),
+            stepwise_f_threshold=float(config_data["stepwise_f_threshold"]),
+            stepwise_max_features=int(
+                config_data["stepwise_max_features"]))
+        return EMSimModel(
+            config=config,
+            amplitudes={(entry["cls"], entry["stage"]):
+                        float(entry["value"])
+                        for entry in data["amplitudes"]},
+            floors={stage: float(value)
+                    for stage, value in data["floors"].items()},
+            miso={stage: float(value)
+                  for stage, value in data["miso"].items()},
+            intercept=float(data["intercept"]),
+            nop_level=float(data["nop_level"]),
+            beta={stage: float(value)
+                  for stage, value in data["beta"].items()},
+            regression_activity=RegressionActivity(models={
+                stage: _linear_model_from_dict(linear)
+                for stage, linear in data["alpha_models"].items()}),
+            average_activity=AverageActivity(base_flips={
+                stage: float(value)
+                for stage, value in data["base_flips"].items()}),
+            trained_on=str(data.get("trained_on", "")))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ModelFormatError(f"malformed field: {exc}",
+                               path=path) from exc
 
 
 def save_model(model: EMSimModel, path: str) -> None:
-    """Write a trained model to ``path`` as JSON."""
-    with open(path, "w") as handle:
-        json.dump(model_to_dict(model), handle, indent=1)
+    """Write a trained model to ``path`` as JSON, atomically.
+
+    The document is written to a temporary file in the destination
+    directory, fsynced, then renamed over ``path`` — a crash at any
+    point leaves either the previous file or none, never a truncated
+    one.
+    """
+    data = model_to_dict(model)
+    directory = os.path.dirname(os.path.abspath(path))
+    descriptor, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp")
+    try:
+        with os.fdopen(descriptor, "w") as handle:
+            json.dump(data, handle, indent=1)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
 
 
 def load_model(path: str) -> EMSimModel:
-    """Load a trained model previously written by :func:`save_model`."""
-    with open(path) as handle:
-        return model_from_dict(json.load(handle))
+    """Load a trained model previously written by :func:`save_model`.
+
+    Raises :class:`~repro.robustness.errors.ModelFormatError` (naming
+    the file and the reason) on unreadable, truncated, tampered, or
+    otherwise invalid documents.
+    """
+    try:
+        with open(path) as handle:
+            raw = handle.read()
+    except OSError as exc:
+        raise ModelFormatError(f"cannot read file: {exc.strerror}",
+                               path=path) from exc
+    if not raw.strip():
+        raise ModelFormatError("file is empty", path=path)
+    try:
+        data = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ModelFormatError(
+            f"invalid JSON at line {exc.lineno}, column {exc.colno}: "
+            f"{exc.msg} (truncated write?)", path=path) from exc
+    return model_from_dict(data, path=path)

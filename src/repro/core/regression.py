@@ -9,10 +9,12 @@ and the forward step-wise selector.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 import numpy as np
+
+from ..robustness.errors import ConvergenceError
 
 
 @dataclass
@@ -148,3 +150,177 @@ def fit_full(design: np.ndarray, target: np.ndarray,
         max(1, design.shape[0] - design.shape[1] - 1),
         r_squared=1.0 - float(residuals @ residuals) / total_ss
         if total_ss > 0 else 1.0)
+
+
+# ----------------------------------------------------------------------
+# robust fitting (IRLS / Huber and trimmed least squares)
+# ----------------------------------------------------------------------
+# Corrupted probes (burst noise, drift, mis-gated amplitudes) produce
+# gross outliers that ordinary least squares lets poison every
+# coefficient.  The trainers use the Huber M-estimator solved by
+# iteratively reweighted least squares; residuals beyond ``c`` scaled
+# MADs contribute linearly instead of quadratically, so a handful of bad
+# rows cannot move the fit.
+
+_MAD_TO_SIGMA = 1.4826      # consistency factor for Gaussian residuals
+_SCALE_FLOOR = 1e-12
+
+
+@dataclass
+class RobustFitInfo:
+    """Diagnostics from one robust (IRLS or trimmed) fit."""
+
+    method: str = "huber"
+    iterations: int = 0
+    converged: bool = True
+    outliers_rejected: int = 0       # rows with final weight < 0.5
+    total_observations: int = 0
+    final_scale: float = 0.0         # robust residual scale (MAD-based)
+    weights: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def describe(self) -> str:
+        return (f"{self.method}: {self.outliers_rejected}/"
+                f"{self.total_observations} observations down-weighted "
+                f"in {self.iterations} iterations"
+                f"{'' if self.converged else ' (NOT converged)'}")
+
+
+def mad_scale(residuals: np.ndarray) -> float:
+    """Robust residual scale: 1.4826 * median absolute deviation."""
+    residuals = np.asarray(residuals, dtype=float)
+    if residuals.size == 0:
+        return 0.0
+    center = float(np.median(residuals))
+    return _MAD_TO_SIGMA * float(np.median(np.abs(residuals - center)))
+
+
+def mad_outlier_mask(values: np.ndarray, threshold: float = 6.0
+                     ) -> np.ndarray:
+    """Boolean mask of values further than ``threshold`` MADs from the
+    median (True = outlier).  Used to screen per-stage alpha observations
+    before step-wise selection."""
+    values = np.asarray(values, dtype=float)
+    scale = mad_scale(values)
+    if scale < _SCALE_FLOOR:
+        return np.zeros(values.shape, dtype=bool)
+    return np.abs(values - np.median(values)) > threshold * scale
+
+
+def huber_weights(residuals: np.ndarray, scale: float,
+                  c: float = 1.345) -> np.ndarray:
+    """Huber IRLS weights: 1 inside ``c * scale``, decaying outside."""
+    residuals = np.asarray(residuals, dtype=float)
+    if scale < _SCALE_FLOOR:
+        return np.ones(residuals.shape)
+    normalized = np.abs(residuals) / (c * scale)
+    weights = np.ones(residuals.shape)
+    outside = normalized > 1.0
+    weights[outside] = 1.0 / normalized[outside]
+    return weights
+
+
+def irls_solve(matrix: np.ndarray, target: np.ndarray,
+               ridge: float = 1e-6, c: float = 1.345,
+               max_iter: int = 50, tol: float = 1e-8,
+               base_weights: Optional[np.ndarray] = None
+               ) -> Tuple[np.ndarray, RobustFitInfo]:
+    """Huber-IRLS solution of ``matrix @ x ~ target``.
+
+    ``matrix`` is used as given (include an intercept column if one is
+    wanted); ``base_weights`` multiply the robustness weights, so fixed
+    observation weighting (e.g. the MISO pure-floor up-weighting)
+    composes with outlier down-weighting.  Raises
+    :class:`ConvergenceError` if the iteration produces non-finite
+    values; merely hitting ``max_iter`` is reported via
+    ``info.converged`` instead, since the estimate is still usable.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    target = np.asarray(target, dtype=float)
+    n_rows, n_cols = matrix.shape
+    base = np.ones(n_rows) if base_weights is None else \
+        np.asarray(base_weights, dtype=float)
+
+    def solve(weights: np.ndarray) -> np.ndarray:
+        scaled = matrix * weights[:, None]
+        gram = scaled.T @ matrix + ridge * np.eye(n_cols)
+        return np.linalg.solve(gram, scaled.T @ target)
+
+    solution = solve(base)
+    info = RobustFitInfo(method="huber", total_observations=n_rows)
+    robust = np.ones(n_rows)
+    for iteration in range(1, max_iter + 1):
+        residuals = target - matrix @ solution
+        scale = mad_scale(residuals)
+        info.final_scale = scale
+        if scale < _SCALE_FLOOR:
+            # residuals already (near) zero: nothing to reweight
+            info.iterations = iteration
+            break
+        robust = huber_weights(residuals, scale, c=c)
+        updated = solve(base * robust)
+        if not np.all(np.isfinite(updated)):
+            raise ConvergenceError(
+                f"IRLS produced non-finite coefficients at iteration "
+                f"{iteration}", iterations=iteration)
+        shift = float(np.max(np.abs(updated - solution)))
+        solution = updated
+        info.iterations = iteration
+        reference = float(np.max(np.abs(solution))) + 1.0
+        if shift <= tol * reference:
+            break
+    else:
+        info.converged = False
+    info.weights = base * robust
+    info.outliers_rejected = int(np.sum(robust < 0.5))
+    return solution, info
+
+
+def fit_robust(design: np.ndarray, target: np.ndarray,
+               ridge: float = 1e-8, c: float = 1.345,
+               max_iter: int = 50,
+               weights: Optional[np.ndarray] = None
+               ) -> Tuple[float, np.ndarray, RobustFitInfo]:
+    """Huber-robust analogue of :func:`fit_linear`.
+
+    Returns ``(intercept, coefficients, info)``.
+    """
+    design = np.asarray(design, dtype=float)
+    target = np.asarray(target, dtype=float)
+    augmented = np.hstack([np.ones((design.shape[0], 1)), design])
+    solution, info = irls_solve(augmented, target, ridge=ridge, c=c,
+                                max_iter=max_iter, base_weights=weights)
+    return float(solution[0]), solution[1:], info
+
+
+def fit_trimmed(design: np.ndarray, target: np.ndarray,
+                trim: float = 0.1, ridge: float = 1e-8,
+                rounds: int = 3) -> Tuple[float, np.ndarray,
+                                          RobustFitInfo]:
+    """Trimmed least squares: iteratively drop the worst residuals.
+
+    Each round refits on the (1 - ``trim``) fraction of observations
+    with the smallest absolute residuals — a blunter alternative to
+    IRLS, useful when corruption is heavy-tailed rather than smooth.
+    """
+    if not 0.0 <= trim < 0.5:
+        raise ValueError(f"trim fraction must be in [0, 0.5): {trim!r}")
+    design = np.asarray(design, dtype=float)
+    target = np.asarray(target, dtype=float)
+    n_rows = design.shape[0]
+    keep = np.ones(n_rows, dtype=bool)
+    intercept, coef = fit_linear(design, target, ridge)
+    kept_rows = n_rows
+    info = RobustFitInfo(method="trimmed", total_observations=n_rows)
+    for round_index in range(1, rounds + 1):
+        residuals = np.abs(target - (intercept + design @ coef))
+        kept_rows = max(design.shape[1] + 2,
+                        int(np.ceil((1.0 - trim) * n_rows)))
+        threshold = np.partition(residuals, kept_rows - 1)[kept_rows - 1]
+        keep = residuals <= threshold
+        intercept, coef = fit_linear(design[keep], target[keep], ridge)
+        info.iterations = round_index
+    info.outliers_rejected = int(n_rows - keep.sum())
+    info.weights = keep.astype(float)
+    residuals = target[keep] - (intercept + design[keep] @ coef)
+    info.final_scale = mad_scale(residuals)
+    return float(intercept), coef, info

@@ -27,6 +27,10 @@ import numpy as np
 
 from ..hardware.device import HardwareDevice, Measurement
 from ..isa.program import Program
+from ..robustness.errors import ConvergenceError, ProbeError
+from ..robustness.health import HealthPolicy
+from ..robustness.retry import (AcquisitionStats, CaptureSupervisor,
+                                RetryPolicy)
 from ..signal.kernels import DampedSineKernel
 from ..signal.metrics import simulation_accuracy
 from ..signal.reconstruction import estimate_cycle_amplitudes, reconstruct
@@ -39,9 +43,46 @@ from .microbench import (REPRESENTATIVES, coverage_groups,
                          double_load_probe, isolation_probe, pair_probe,
                          probe_instruction_seq, repeat_probe)
 from .model import EMSimModel
-from .regression import LinearModel, fit_linear, stepwise_select
+from .regression import (LinearModel, RobustFitInfo, fit_linear,
+                         irls_solve, mad_outlier_mask, stepwise_select)
 
 _AMPLITUDE_EPS = 1e-3
+
+
+@dataclass
+class TrainingReport:
+    """Accounting of one training run: acquisition + fit robustness.
+
+    ``acquisition`` counts retried/rejected/degraded probes (the bench
+    side); ``stage_outliers`` and the fit infos count observations the
+    robust regression down-weighted or rejected (the fitting side).
+    """
+
+    acquisition: AcquisitionStats = field(default_factory=AcquisitionStats)
+    robust_fitting: bool = False
+    stage_outliers: Dict[str, int] = field(default_factory=dict)
+    joint_fit: Optional[RobustFitInfo] = None
+    miso_fit: Optional[RobustFitInfo] = None
+    degraded_probes: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """Multi-line run report (printed by ``repro train``)."""
+        lines = [f"acquisition: {self.acquisition.summary()}"]
+        if self.degraded_probes:
+            lines.append("degraded probes: " +
+                         ", ".join(sorted(set(self.degraded_probes))))
+        lines.append(f"robust fitting: "
+                     f"{'on' if self.robust_fitting else 'off'}")
+        if self.stage_outliers:
+            rejected = ", ".join(
+                f"{stage}: {count}" for stage, count in
+                sorted(self.stage_outliers.items()))
+            lines.append(f"alpha outliers rejected per stage: {rejected}")
+        if self.joint_fit is not None:
+            lines.append(f"joint alpha fit {self.joint_fit.describe()}")
+        if self.miso_fit is not None:
+            lines.append(f"MISO fit {self.miso_fit.describe()}")
+        return "\n".join(lines)
 
 
 def fit_kernel(signal: np.ndarray, samples_per_cycle: int,
@@ -90,6 +131,15 @@ class Trainer:
     seed: int = 42
     fit_kernel_parameters: bool = True
     verbose: bool = False
+    # resilience knobs: health gate + retry around every capture, and
+    # robust (Huber-IRLS) fitting so dirty probes cannot poison Eq. 8.
+    # ``robust="auto"`` turns robust fitting on exactly when the device
+    # carries an active fault plan, keeping fault-free runs bit-identical
+    # to the plain least-squares path.
+    health_policy: Optional[HealthPolicy] = None
+    retry_policy: Optional[RetryPolicy] = None
+    strict: bool = False
+    robust: object = "auto"
 
     def __post_init__(self) -> None:
         self.rng = np.random.default_rng(self.seed)
@@ -97,13 +147,30 @@ class Trainer:
             self.config = replace(
                 self.config,
                 samples_per_cycle=self.device.samples_per_cycle)
+        faulty = getattr(self.device, "fault_injector", None) is not None
+        if self.robust == "auto":
+            self._robust_enabled = faulty
+        else:
+            self._robust_enabled = bool(self.robust)
+        self.supervisor = CaptureSupervisor(
+            self.device,
+            retry=self.retry_policy or RetryPolicy(seed=self.seed),
+            health=self.health_policy or HealthPolicy(),
+            allow_degradation=not self.strict,
+            log=self._log if self.verbose else None)
+        self.report = TrainingReport(robust_fitting=self._robust_enabled)
+        self.report.acquisition = self.supervisor.stats
 
     # ------------------------------------------------------------------
     # measurement helpers
     # ------------------------------------------------------------------
     def _measure(self, program: Program) -> Measurement:
-        return self.device.measure(program, method=self.capture_method,
-                                   repetitions=self.repetitions)
+        measurement, outcome = self.supervisor.measure(
+            program, method=self.capture_method,
+            repetitions=self.repetitions)
+        if outcome.degraded:
+            self.report.degraded_probes.append(outcome.program)
+        return measurement
 
     def _amplitudes(self, measurement: Measurement) -> np.ndarray:
         return estimate_cycle_amplitudes(
@@ -169,7 +236,7 @@ class Trainer:
                                          for stage in STAGES))
                       and trace.occupancy["F"][cycle].active]
         if not nop_cycles:
-            raise RuntimeError("no all-NOP cycles found in probe")
+            raise ProbeError("no all-NOP cycles found in probe")
         return float(np.median(amplitudes[nop_cycles]))
 
     def _probe_programs(self) -> Dict[str, Program]:
@@ -268,6 +335,17 @@ class Trainer:
                 continue
             design = np.vstack(rows[stage])
             target = np.asarray(targets[stage])
+            if self._robust_enabled:
+                # corrupted captures yield wild alpha observations; a MAD
+                # screen keeps them out of the F-tests that pick the bits
+                outliers = mad_outlier_mask(target)
+                rejected = int(outliers.sum())
+                if rejected and rejected < len(target) - 8:
+                    design = design[~outliers]
+                    target = target[~outliers]
+                    self.report.stage_outliers[stage] = rejected
+                    self._log(f"alpha[{stage}]: rejected {rejected} "
+                              f"outlier observation(s)")
             # per-register flip counts (the leading design columns) are
             # always kept; step-wise selection only adds individual bits
             num_counts = len(STAGE_REGISTERS[stage])
@@ -348,9 +426,10 @@ class Trainer:
 
         design = np.vstack(design_rows)
         target = np.asarray(target_rows)
-        # ridge LS without global intercept (delta_s plays that role)
-        gram = design.T @ design + 1e-6 * np.eye(total_columns)
-        solution = np.linalg.solve(gram, design.T @ target)
+        # ridge LS without global intercept (delta_s plays that role);
+        # under fault injection, Huber IRLS so corrupted cycles cannot
+        # drag every stage's (delta_s, c_s)
+        solution = self._solve_joint(design, target, total_columns)
 
         models: Dict[str, LinearModel] = {}
         for stage in stage_order:
@@ -361,6 +440,25 @@ class Trainer:
                 features=selected[stage])
             self._log(f"alpha[{stage}] joint: delta={solution[start]:.3f}")
         return RegressionActivity(models=models)
+
+    def _solve_joint(self, design: np.ndarray, target: np.ndarray,
+                     total_columns: int) -> np.ndarray:
+        """Joint-fit solver: plain ridge, or Huber IRLS when robust."""
+        if not self._robust_enabled:
+            gram = design.T @ design + 1e-6 * np.eye(total_columns)
+            return np.linalg.solve(gram, design.T @ target)
+        try:
+            solution, info = irls_solve(design, target, ridge=1e-6)
+        except ConvergenceError:
+            if self.strict:
+                raise
+            self._log("joint alpha IRLS diverged; falling back to "
+                      "plain ridge")
+            gram = design.T @ design + 1e-6 * np.eye(total_columns)
+            return np.linalg.solve(gram, design.T @ target)
+        self.report.joint_fit = info
+        self._log(f"joint alpha fit: {info.describe()}")
+        return solution
 
     # ------------------------------------------------------------------
     # MISO / floor fit (Eq. 9)
@@ -423,8 +521,23 @@ class Trainer:
         target = np.concatenate(targets)
         pure_floor = np.all(design[:, len(STAGES):] == 0.0, axis=1)
         weights = np.where(pure_floor, 25.0, 1.0)
-        intercept, coef = fit_linear(design, target, ridge=1e-6,
-                                     weights=weights)
+        if self._robust_enabled:
+            augmented = np.hstack([np.ones((design.shape[0], 1)), design])
+            try:
+                solution, info = irls_solve(augmented, target, ridge=1e-6,
+                                            base_weights=weights)
+                intercept, coef = float(solution[0]), solution[1:]
+                self.report.miso_fit = info
+                self._log(f"MISO robust fit: {info.describe()}")
+            except ConvergenceError:
+                if self.strict:
+                    raise
+                self._log("MISO IRLS diverged; falling back to weighted LS")
+                intercept, coef = fit_linear(design, target, ridge=1e-6,
+                                             weights=weights)
+        else:
+            intercept, coef = fit_linear(design, target, ridge=1e-6,
+                                         weights=weights)
         model.intercept = float(intercept)
         model.floors = {stage: float(coef[index])
                         for index, stage in enumerate(STAGES)}

@@ -9,12 +9,16 @@ converges to) or through the full scope + modulo-operation pipeline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional
 
 import numpy as np
 
 from ..isa.program import Program
+from ..robustness.errors import AcquisitionError, ConfigurationError
+from ..robustness.faults import FaultInjector, FaultPlan
+from ..robustness.health import (CaptureQuality, assess_capture,
+                                 screen_repetitions)
 from ..signal.acquisition import Oscilloscope, ScopeConfig
 from ..signal.modulo import modulo_average
 from ..uarch.config import CoreConfig, DEFAULT_CONFIG
@@ -38,6 +42,9 @@ class Measurement:
     program_name: str
     device_name: str
     method: str               # "ideal" or "reference"
+    # bench-observable quality of the capture; populated on the full
+    # scope + modulo path, None on the ideal grid (which is exact)
+    quality: Optional[CaptureQuality] = None
 
     @property
     def num_cycles(self) -> int:
@@ -57,13 +64,16 @@ class HardwareDevice:
                  samples_per_cycle: int = DEFAULT_SAMPLES_PER_CYCLE,
                  seed: int = 12345,
                  alu_bug: Optional[object] = None,
-                 core_kind: str = "in-order"):
+                 core_kind: str = "in-order",
+                 fault_plan: Optional[FaultPlan] = None,
+                 auto_range: bool = True):
         if core_kind not in ("in-order", "out-of-order"):
-            raise ValueError(f"unknown core kind: {core_kind!r}")
+            raise ConfigurationError(f"unknown core kind: {core_kind!r}")
         if instance is None:
             instance = DeviceInstance(board=board or DE0_CV)
         elif board is not None and instance.board is not board:
-            raise ValueError("pass either instance or board, not both")
+            raise ConfigurationError("pass either instance or board, "
+                                     "not both")
         self.instance = instance
         self.probe = probe
         self.core_config = core_config
@@ -72,6 +82,10 @@ class HardwareDevice:
         self.rng = np.random.default_rng(seed)
         self.alu_bug = alu_bug
         self.core_kind = core_kind
+        self.fault_plan = fault_plan
+        self.fault_injector = FaultInjector(fault_plan) \
+            if fault_plan is not None and fault_plan.any_active else None
+        self.auto_range = auto_range
         self.units = instance.units()
         self.emitter = HardwareEmitter(
             self.units, probe=probe, gain=instance.gain_jitter,
@@ -124,20 +138,66 @@ class HardwareDevice:
         period uses the device's *actual* clock (measured in practice from
         the signal itself), so manufacturing clock offsets appear only as
         a slight per-cycle waveform stretch.
+
+        The device's fault plan (if any) corrupts this path — and only
+        this path; the ideal grid stays exact, which is what makes it a
+        valid degradation fallback.  Delivered repetitions are screened
+        individually (clipping, energy, fold residual) before the fold,
+        and the returned measurement carries a
+        :class:`~repro.robustness.health.CaptureQuality` for gating.
         """
         trace, _ = self.run(program, max_cycles=max_cycles)
         continuous = self.emitter.continuous(trace)
         duration = trace.num_cycles * self.instance.clock_scale
-        scope = Oscilloscope(self.scope_config, self.rng)
-        times, samples = scope.capture_repetitions(continuous, duration,
-                                                   repetitions)
+        scope_config = self.scope_config
+        if self.auto_range:
+            # the operator's vertical auto-range: one pilot sweep sets the
+            # ADC full scale so dense programs don't rail the converter
+            # (the default 4.0 full scale clips heavy combination groups)
+            pilot_grid = np.linspace(0.0, duration,
+                                     trace.num_cycles *
+                                     self.samples_per_cycle,
+                                     endpoint=False)
+            span = float(np.max(np.abs(continuous(pilot_grid))))
+            if span > 0:
+                scope_config = replace(scope_config,
+                                       adc_range=2.5 * span)
+        scope = Oscilloscope(scope_config, self.rng,
+                             injector=self.fault_injector)
+        times_list, samples_list = scope.capture_repetition_list(
+            continuous, duration, repetitions)
+        stats = scope.last_repetition_stats
+        if not samples_list:
+            raise AcquisitionError(
+                f"capture run lost all {repetitions} repetitions "
+                f"to trigger/brown-out faults")
+        num_bins = trace.num_cycles * self.samples_per_cycle
+        screen = screen_repetitions(
+            times_list, samples_list, period=duration, num_bins=num_bins,
+            adc_range=scope_config.adc_range,
+            adc_bits=scope_config.adc_bits)
+        kept = [index for index, ok in enumerate(screen.keep) if ok]
+        if not kept:
+            raise AcquisitionError(
+                f"all {len(samples_list)} delivered repetitions were "
+                f"screened out as corrupt")
+        times = np.concatenate([times_list[i] for i in kept])
+        samples = np.concatenate([samples_list[i] for i in kept])
         reference, _ = modulo_average(
-            samples, times, period=duration,
-            num_bins=trace.num_cycles * self.samples_per_cycle)
+            samples, times, period=duration, num_bins=num_bins)
+        quality = assess_capture(
+            samples, times, period=duration, num_bins=num_bins,
+            adc_range=scope_config.adc_range,
+            adc_bits=scope_config.adc_bits,
+            lost_repetitions=stats.lost,
+            screened_repetitions=screen.rejected,
+            total_repetitions=stats.requested,
+            reference=reference)
         return Measurement(signal=reference, trace=trace,
                            samples_per_cycle=self.samples_per_cycle,
                            program_name=program.name,
-                           device_name=self.name, method="reference")
+                           device_name=self.name, method="reference",
+                           quality=quality)
 
     def capture_single(self, program: Program,
                        noise_rms: Optional[float] = None,
@@ -167,4 +227,4 @@ class HardwareDevice:
         if method == "reference":
             return self.capture_reference(program, repetitions=repetitions,
                                           max_cycles=max_cycles)
-        raise ValueError(f"unknown capture method: {method!r}")
+        raise ConfigurationError(f"unknown capture method: {method!r}")

@@ -1,0 +1,51 @@
+"""Resilience layer: typed errors, fault injection, health gates, retry.
+
+The bench-to-model pipeline (capture -> health gate -> retry/degrade ->
+robust fit -> persist) assumes measurements can be noisy, clipped,
+mis-triggered, or lost and that model files can be truncated.  This
+package provides the pieces:
+
+* :mod:`repro.robustness.errors` — the ``ReproError`` hierarchy and CLI
+  exit codes;
+* :mod:`repro.robustness.faults` — seeded composable fault injection for
+  the oscilloscope/device path;
+* :mod:`repro.robustness.health` — capture quality metrics + thresholds;
+* :mod:`repro.robustness.retry` — bounded retry, exponential backoff with
+  deterministic jitter, and the degradation ladder.
+
+See ``docs/robustness.md`` for the fault taxonomy and the degradation
+ladder end to end.
+"""
+
+from .errors import (AcquisitionError, CaptureQualityError,
+                     ConfigurationError, ConvergenceError, ModelFormatError,
+                     ProbeError, ReproError, exit_code_for)
+from .faults import FAULT_KINDS, FaultInjector, FaultPlan
+from .health import (CaptureQuality, HealthPolicy, RepetitionScreen,
+                     assess_capture, clipping_ratio, screen_repetitions)
+from .retry import (AcquisitionStats, CaptureSupervisor, ProbeOutcome,
+                    RetryPolicy)
+
+__all__ = [
+    "AcquisitionError",
+    "AcquisitionStats",
+    "CaptureQuality",
+    "CaptureQualityError",
+    "CaptureSupervisor",
+    "ConfigurationError",
+    "ConvergenceError",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "HealthPolicy",
+    "ModelFormatError",
+    "ProbeError",
+    "ProbeOutcome",
+    "RepetitionScreen",
+    "ReproError",
+    "RetryPolicy",
+    "assess_capture",
+    "clipping_ratio",
+    "exit_code_for",
+    "screen_repetitions",
+]

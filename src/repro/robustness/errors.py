@@ -1,0 +1,95 @@
+"""Typed error hierarchy for the bench-to-model pipeline.
+
+A real EMSim bench fails in distinguishable ways — the scope loses a
+trigger, a capture is too dirty to use, a fit diverges, a model file on
+disk is truncated — and each failure needs a different reaction (retry,
+escalate, degrade, or abort with a precise message).  Every error the
+reproduction raises on purpose derives from :class:`ReproError`, so the
+CLI can map failure families to distinct exit codes and callers can catch
+exactly the layer they can handle.
+
+Some subclasses also derive from :class:`ValueError` where they replace
+``ValueError`` raises that predate this hierarchy, so existing callers
+(and tests) keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ReproError(Exception):
+    """Base of every intentional failure in the reproduction pipeline."""
+
+    #: process exit code used by the CLI; each subclass gets its own so
+    #: scripts can branch on the failure family (argparse owns 2).
+    exit_code = 10
+
+
+class AcquisitionError(ReproError):
+    """The bench failed to deliver a capture at all.
+
+    Raised for trigger loss, device brown-outs, and repetition runs that
+    lose too many traces to fold a reference from.
+    """
+
+    exit_code = 11
+
+
+class CaptureQualityError(AcquisitionError):
+    """A capture was delivered but failed the health gate.
+
+    Carries the individual threshold violations so retry logic (and the
+    operator) can see *why* the capture was rejected.
+    """
+
+    exit_code = 12
+
+    def __init__(self, message: str, violations: Optional[list] = None):
+        super().__init__(message)
+        self.violations = list(violations or [])
+
+
+class ConvergenceError(ReproError):
+    """An iterative fit (IRLS, trimmed refit) failed to converge."""
+
+    exit_code = 13
+
+    def __init__(self, message: str, iterations: int = 0):
+        super().__init__(message)
+        self.iterations = iterations
+
+
+class ModelFormatError(ReproError, ValueError):
+    """A persisted model file is corrupt, truncated, or unsupported.
+
+    ``path`` names the offending file (when known) and ``reason`` states
+    what was wrong with it; both appear in ``str(error)``.
+    """
+
+    exit_code = 14
+
+    def __init__(self, reason: str, path: Optional[str] = None):
+        self.reason = reason
+        self.path = path
+        message = f"{path}: {reason}" if path else reason
+        super().__init__(message)
+
+
+class ProbeError(ReproError, ValueError):
+    """A microbenchmark probe could not be built or interpreted."""
+
+    exit_code = 15
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Inconsistent bench/trainer configuration (bad method, core kind…)."""
+
+    exit_code = 16
+
+
+def exit_code_for(error: BaseException) -> int:
+    """CLI exit code for an exception (1 for non-:class:`ReproError`)."""
+    if isinstance(error, ReproError):
+        return error.exit_code
+    return 1

@@ -10,9 +10,12 @@ resolution.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
+
+from ..robustness.errors import AcquisitionError
+from ..robustness.faults import FaultInjector
 
 
 @dataclass(frozen=True)
@@ -38,13 +41,40 @@ class ScopeConfig:
         return self.samples_per_cycle * (1.0 + self.rate_offset)
 
 
+@dataclass
+class RepetitionStats:
+    """Delivery accounting for one repetition capture run."""
+
+    requested: int = 0
+    lost: int = 0
+
+    @property
+    def delivered(self) -> int:
+        return self.requested - self.lost
+
+
 class Oscilloscope:
-    """Samples a continuous signal ``y(t)`` (t in device clock cycles)."""
+    """Samples a continuous signal ``y(t)`` (t in device clock cycles).
+
+    ``injector`` optionally threads a seeded
+    :class:`~repro.robustness.faults.FaultInjector` into the capture
+    path: capture-killing faults raise
+    :class:`~repro.robustness.errors.AcquisitionError`, signal faults
+    corrupt the raw samples before quantization (so saturation rails,
+    exactly as on a real ADC).
+    """
+
+    #: a repetition run losing more than this fraction of its traces is
+    #: reported as failed delivery rather than silently under-averaged
+    MAX_LOST_FRACTION = 0.5
 
     def __init__(self, config: ScopeConfig,
-                 rng: np.random.Generator):
+                 rng: np.random.Generator,
+                 injector: Optional[FaultInjector] = None):
         self.config = config
         self.rng = rng
+        self.injector = injector
+        self.last_repetition_stats = RepetitionStats()
 
     def _quantize(self, samples: np.ndarray) -> np.ndarray:
         config = self.config
@@ -59,8 +89,13 @@ class Oscilloscope:
         """Capture one trace; returns ``(sample_times, samples)``.
 
         ``sample_times`` are in device-clock cycles, offset by trigger
-        jitter; samples include AWGN and quantization.
+        jitter; samples include AWGN and quantization.  With a fault
+        injector attached, a lost trigger or device brown-out raises
+        :class:`AcquisitionError` and corrupting faults are folded in
+        ahead of the ADC.
         """
+        if self.injector is not None:
+            self.injector.begin_capture()
         config = self.config
         count = int(duration_cycles * config.effective_rate)
         jitter = self.rng.uniform(0, config.trigger_jitter_cycles)
@@ -69,6 +104,8 @@ class Oscilloscope:
         samples = continuous(times)
         samples = samples + self.rng.normal(0.0, config.noise_rms,
                                             size=samples.shape)
+        if self.injector is not None:
+            times, samples = self.injector.corrupt(times, samples)
         return times, self._quantize(samples)
 
     def capture_repetitions(self,
@@ -80,15 +117,48 @@ class Oscilloscope:
         sequence, concatenated on a common absolute time axis.
 
         This is the paper's "executed several times (1000 times in our
-        measurements)" collection loop.
+        measurements)" collection loop.  Individual repetitions lost to
+        trigger/brown-out faults are skipped and tallied in
+        ``last_repetition_stats``; the run only fails (with
+        :class:`AcquisitionError`) when more than ``MAX_LOST_FRACTION``
+        of the requested traces are gone.
         """
-        all_times = []
-        all_samples = []
+        times_list, samples_list = self.capture_repetition_list(
+            continuous, duration_cycles, repetitions)
+        lost = self.last_repetition_stats.lost
+        if not samples_list or lost > repetitions * self.MAX_LOST_FRACTION:
+            raise AcquisitionError(
+                f"capture run lost {lost}/{repetitions} repetitions "
+                f"to trigger/brown-out faults")
+        return np.concatenate(times_list), np.concatenate(samples_list)
+
+    def capture_repetition_list(self,
+                                continuous: Callable[[np.ndarray],
+                                                     np.ndarray],
+                                duration_cycles: float,
+                                repetitions: int
+                                ) -> Tuple[list, list]:
+        """Capture repetitions as *separate* traces (for screening).
+
+        Returns ``(times_list, samples_list)`` of the delivered traces,
+        each already shifted onto the common absolute time axis; lost
+        repetitions are recorded in ``last_repetition_stats`` instead of
+        raising, so the caller decides how many losses are tolerable.
+        """
+        times_list: list = []
+        samples_list: list = []
+        lost = 0
         for repetition in range(repetitions):
-            times, samples = self.capture(
-                continuous, duration_cycles,
-                start_cycle=0.0)
+            try:
+                times, samples = self.capture(
+                    continuous, duration_cycles,
+                    start_cycle=0.0)
+            except AcquisitionError:
+                lost += 1
+                continue
             # the sequence restarts every duration_cycles; fold later
-            all_times.append(times + repetition * duration_cycles)
-            all_samples.append(samples)
-        return np.concatenate(all_times), np.concatenate(all_samples)
+            times_list.append(times + repetition * duration_cycles)
+            samples_list.append(samples)
+        self.last_repetition_stats = RepetitionStats(requested=repetitions,
+                                                     lost=lost)
+        return times_list, samples_list

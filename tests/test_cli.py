@@ -17,7 +17,7 @@ def model_path(tmp_path_factory):
 def test_train_writes_valid_model(model_path):
     with open(model_path) as handle:
         data = json.load(handle)
-    assert data["format_version"] == 1
+    assert data["format_version"] == 2
     assert data["trained_on"].startswith("de0-cv")
 
 
@@ -70,3 +70,25 @@ def test_bad_board_rejected(tmp_path):
     with pytest.raises(SystemExit):
         main(["train", "--out", str(tmp_path / "m.json"),
               "--board", "nexys"])
+
+
+def test_corrupt_model_exit_code(tmp_path, capsys):
+    """A corrupt model file exits with the ModelFormatError code (14)
+    and a one-line message, not a traceback."""
+    from repro.robustness import ModelFormatError
+    bad = tmp_path / "bad.json"
+    bad.write_text("{ this is not json")
+    assert main(["savat", "--model", str(bad)]) == \
+        ModelFormatError("x", path="y").exit_code
+    err = capsys.readouterr().err
+    assert err.startswith("error: ")
+    assert str(bad) in err
+
+
+def test_tampered_model_exit_code(model_path, tmp_path, capsys):
+    data = json.loads(open(model_path).read())
+    data["intercept"] = float(data["intercept"]) + 0.5
+    tampered = tmp_path / "tampered.json"
+    tampered.write_text(json.dumps(data))
+    assert main(["savat", "--model", str(tampered)]) == 14
+    assert "checksum" in capsys.readouterr().err

@@ -59,7 +59,7 @@ def test_serialized_form_is_plain_json(trained, tmp_path):
     save_model(model, path)
     with open(path) as handle:
         data = json.load(handle)
-    assert data["format_version"] == 1
+    assert data["format_version"] == 2
     assert data["trained_on"] == "de0-cv#0"
     assert isinstance(data["amplitudes"], list)
 
@@ -70,3 +70,106 @@ def test_unknown_format_rejected(trained):
     data["format_version"] = 999
     with pytest.raises(ValueError):
         model_from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# integrity + atomicity (format version 2)
+# ----------------------------------------------------------------------
+
+def test_checksum_round_trip(trained):
+    """The serialized checksum verifies against the payload."""
+    from repro.core.persistence import payload_checksum
+    _, model = trained
+    data = model_to_dict(model)
+    assert data["checksum"] == payload_checksum(data)
+    # and key ordering / whitespace doesn't matter
+    import json
+    reordered = json.loads(json.dumps(data, sort_keys=True, indent=4))
+    assert payload_checksum(reordered) == data["checksum"]
+
+
+def test_tampered_payload_rejected(trained):
+    from repro.robustness import ModelFormatError
+    _, model = trained
+    data = model_to_dict(model)
+    data["nop_level"] = float(data["nop_level"]) + 1e-6
+    with pytest.raises(ModelFormatError, match="checksum"):
+        model_from_dict(data)
+
+
+def test_truncated_file_rejected(trained, tmp_path):
+    from repro.robustness import ModelFormatError
+    _, model = trained
+    path = str(tmp_path / "model.json")
+    save_model(model, path)
+    raw = open(path).read()
+    truncated = str(tmp_path / "truncated.json")
+    with open(truncated, "w") as handle:
+        handle.write(raw[:len(raw) // 2])
+    with pytest.raises(ModelFormatError) as info:
+        load_model(truncated)
+    assert truncated in str(info.value)
+
+
+def test_garbage_file_rejected(tmp_path):
+    from repro.robustness import ModelFormatError
+    for name, content in (("empty.json", ""),
+                          ("garbage.json", "not json at all"),
+                          ("wrong.json", "[1, 2, 3]")):
+        path = str(tmp_path / name)
+        with open(path, "w") as handle:
+            handle.write(content)
+        with pytest.raises(ModelFormatError):
+            load_model(path)
+
+
+def test_missing_file_rejected(tmp_path):
+    from repro.robustness import ModelFormatError
+    with pytest.raises(ModelFormatError, match="cannot read"):
+        load_model(str(tmp_path / "does-not-exist.json"))
+
+
+def test_missing_checksum_on_v2_rejected(trained):
+    from repro.robustness import ModelFormatError
+    _, model = trained
+    data = model_to_dict(model)
+    del data["checksum"]
+    with pytest.raises(ModelFormatError, match="checksum"):
+        model_from_dict(data)
+
+
+def test_version1_without_checksum_accepted(trained):
+    """Legacy v1 documents (no checksum field) still load."""
+    _, model = trained
+    data = model_to_dict(model)
+    del data["checksum"]
+    data["format_version"] = 1
+    restored = model_from_dict(data)
+    assert restored.intercept == model.intercept
+
+
+def test_save_is_atomic_on_crash(trained, tmp_path, monkeypatch):
+    """A crash mid-write must leave the previous file intact and no
+    temporary droppings behind."""
+    import json
+    import os
+    _, model = trained
+    path = str(tmp_path / "model.json")
+    save_model(model, path)
+    before = open(path).read()
+
+    real_dump = json.dump
+
+    def exploding_dump(*args, **kwargs):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(json, "dump", exploding_dump)
+    with pytest.raises(OSError):
+        save_model(model, path)
+    monkeypatch.setattr(json, "dump", real_dump)
+
+    assert open(path).read() == before          # old file untouched
+    leftovers = [name for name in os.listdir(tmp_path)
+                 if name != "model.json"]
+    assert leftovers == []                      # temp file cleaned up
+    load_model(path)                            # and still loadable
