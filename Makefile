@@ -1,0 +1,22 @@
+# Development gates. `make check` is the one-stop pre-commit target.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: check test docstrings docs bench
+
+check: test docstrings docs
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+docstrings:
+	$(PYTHON) tools/check_docstrings.py
+
+docs:
+	$(PYTHON) tools/check_docs.py
+
+# Not part of `check` (runs ~1 min): the sequential-vs-batched campaign
+# benchmark that writes benchmarks/results/BENCH_sim.json.
+bench:
+	cd benchmarks && $(PYTHON) -m pytest test_perf_campaign.py -x -q

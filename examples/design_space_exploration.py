@@ -7,6 +7,10 @@ signals".  This example does exactly that: it sweeps core design knobs
 (cache latencies, multiplier latency, branch predictor) and reports how
 each choice changes both performance *and* a leakage metric (SAVAT of a
 key-dependent instruction pair) — all in simulation.
+
+Sweeps like this are campaign-shaped: docs/architecture.md ("The batch
+layer") shows how to fan them out over workers; docs/cli.md documents
+the ``--profile`` flag for finding where the time goes.
 """
 
 from dataclasses import replace

@@ -6,6 +6,10 @@ only the lower 8 bits of each operand.  EMSim's simulated signal acts as
 the golden reference; a device whose multiplier radiates less than the
 reference (relative to the rest of the chip, calibrated on a known-good
 unit) is flagged — with zero on-chip test infrastructure.
+
+The trace → amplitude → kernel pipeline the reference rides on is
+described in docs/architecture.md; the fitting methodology in
+docs/METHODOLOGY.md.
 """
 
 from repro import DE0_CV, DeviceInstance, EMSim, HardwareDevice, \

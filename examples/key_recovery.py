@@ -7,6 +7,10 @@ anything.  This example runs an RSA-style square-and-multiply modular
 exponentiation through EMSim, mounts an SPA attack on the *simulated*
 signal, recovers the secret exponent, then verifies that the constant-time
 rewrite closes the channel — all before any hardware exists.
+
+Simulation internals are mapped in docs/architecture.md; the
+``balance`` mitigation pass is also available from the CLI
+(docs/cli.md).
 """
 
 import numpy as np

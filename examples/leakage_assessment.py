@@ -6,6 +6,11 @@ simulation and checks them against the (synthetic) hardware:
 
 * TVLA on AES-128: fixed-vs-random Welch t-test over the traces;
 * SAVAT for instruction pairs: spectral spike energy of A/B alternation.
+
+Both sweeps parallelize via ``workers=N`` on
+``repro.leakage.collect_tvla_traces`` and ``savat_matrix`` (see
+docs/architecture.md, "The batch layer"); the CLI front-end is
+``python -m repro savat`` (docs/cli.md).
 """
 
 import numpy as np

@@ -9,6 +9,11 @@ Mirrors the paper's workflow end-to-end:
    amplitudes, activity-factor regression, MISO coefficients);
 3. simulate the EM side-channel signal of an arbitrary program and
    check it against the bench's "real" emission.
+
+The layering behind these three steps is mapped in
+docs/architecture.md; the equivalent command-line workflow
+(``python -m repro train`` / ``simulate`` / ``accuracy``) is documented
+in docs/cli.md.
 """
 
 import numpy as np

@@ -2,36 +2,57 @@
 
 Usage (also available as ``python -m repro``)::
 
-    python -m repro train --out model.json [--board de0-cv]
+    python -m repro train --out model.json [--board de0-cv] [--workers 8]
     python -m repro simulate --model model.json program.s [--csv out.csv]
-    python -m repro accuracy --model model.json [--groups 2]
+    python -m repro accuracy --model model.json [--groups 2] [--workers 8]
     python -m repro savat --model model.json [--pairs LDM/NOP,ADD/NOP]
+    python -m repro bench --programs 256 --workers 8 [--out BENCH_sim.json]
 
 ``train`` builds a model against the synthetic bench and saves it;
 ``simulate`` runs a RV32IM assembly file through EMSim and reports the
 per-cycle amplitudes; ``accuracy`` scores the model on held-out coverage
-groups; ``savat`` computes simulated SAVAT values for instruction pairs.
+groups; ``savat`` computes simulated SAVAT values for instruction pairs;
+``bench`` times a sequential vs batched/parallel measurement campaign
+and writes the machine-readable ``BENCH_sim.json`` report.  The global
+``--profile`` flag prints a per-phase wall-time table after any command.
+The full reference lives in ``docs/cli.md``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from .core import (EMSim, Trainer, coverage_groups, load_model,
-                   save_model)
+                   measurement_campaign, save_model)
 from .hardware import BOARDS, HardwareDevice
 from .isa import assemble
-from .leakage import savat_pair
+from .leakage import SimulatorSignalSource, savat_matrix
+from .profiling import enable_profiling, get_profiler, write_bench_json
 from .robustness import FaultPlan, ReproError
 from .signal import simulation_accuracy
 from .uarch import DEFAULT_CONFIG
 
 
+def _workers_arg(value: str):
+    """argparse type for ``--workers``: a positive int or ``auto``."""
+    if value == "auto":
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="EMSim (HPCA 2020) reproduction CLI")
+    parser.add_argument("--profile", action="store_true",
+                        help="print per-phase wall-time profile after "
+                             "the command finishes")
     commands = parser.add_subparsers(dest="command", required=True)
 
     train = commands.add_parser("train", help="train a model on the bench")
@@ -53,6 +74,9 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument("--strict", action="store_true",
                        help="fail instead of degrading to the ideal "
                             "grid when a probe cannot be captured")
+    train.add_argument("--workers", type=_workers_arg, default=1,
+                       help="worker processes for probe captures "
+                            "(int or 'auto'; 1 = exact sequential path)")
 
     simulate = commands.add_parser(
         "simulate", help="simulate the EM signal of an assembly program")
@@ -67,11 +91,20 @@ def _build_parser() -> argparse.ArgumentParser:
     accuracy.add_argument("--groups", type=int, default=2)
     accuracy.add_argument("--board", default="de0-cv",
                           choices=sorted(BOARDS))
+    accuracy.add_argument("--workers", type=_workers_arg, default=1,
+                          help="worker processes for the re-simulation "
+                               "fan-out (int or 'auto')")
 
     savat = commands.add_parser(
         "savat", help="simulated SAVAT for instruction pairs")
     savat.add_argument("--model", required=True)
     savat.add_argument("--pairs", default="LDM/NOP,LDC/NOP,ADD/NOP,MUL/DIV")
+    savat.add_argument("--matrix", action="store_true",
+                       help="compute the full Table-II matrix over all "
+                            "six instruction kinds instead of --pairs")
+    savat.add_argument("--workers", type=_workers_arg, default=1,
+                       help="worker processes for the pair sweep "
+                            "(int or 'auto')")
 
     balance = commands.add_parser(
         "balance", help="apply the branch-timing-balancing pass to an "
@@ -79,6 +112,28 @@ def _build_parser() -> argparse.ArgumentParser:
     balance.add_argument("program", help="RV32IM assembly source file")
     balance.add_argument("--out", required=True,
                          help="write balanced assembly here")
+
+    bench = commands.add_parser(
+        "bench", help="time sequential vs batched measurement campaigns "
+                      "and write BENCH_sim.json")
+    bench.add_argument("--programs", type=int, default=256,
+                       help="number of random campaign programs")
+    bench.add_argument("--program-length", type=int, default=32,
+                       help="instructions per campaign program")
+    bench.add_argument("--repetitions", type=int, default=50,
+                       help="scope repetitions per reference capture")
+    bench.add_argument("--workers", type=_workers_arg, default=8,
+                       help="worker processes for the batched run "
+                            "(int or 'auto'); the baseline always "
+                            "runs with 1")
+    bench.add_argument("--board", default="de0-cv", choices=sorted(BOARDS))
+    bench.add_argument("--seed", type=int, default=0,
+                       help="campaign seed (programs and captures)")
+    bench.add_argument("--fault-rate", type=float, default=0.0,
+                       help="inject bench faults at this per-capture "
+                            "rate (0 disables)")
+    bench.add_argument("--out", default="BENCH_sim.json",
+                       help="write the machine-readable report here")
     return parser
 
 
@@ -96,7 +151,8 @@ def _cmd_train(args) -> int:
                       activity_probes_per_class=args.probes,
                       capture_method=args.capture,
                       repetitions=args.repetitions,
-                      strict=args.strict)
+                      strict=args.strict,
+                      workers=args.workers)
     model = trainer.train()
     save_model(model, args.out)
     print(model.summary())
@@ -133,9 +189,9 @@ def _cmd_accuracy(args) -> int:
     total = 0.0
     groups = coverage_groups(group_size=256, seed=7,
                              limit_groups=args.groups)
-    for group in groups:
+    simulations = simulator.simulate_many(groups, workers=args.workers)
+    for group, simulated in zip(groups, simulations):
         measured = device.capture_ideal(group)
-        simulated = simulator.simulate(group)
         length = min(len(measured.signal), len(simulated.signal))
         score = simulation_accuracy(simulated.signal[:length],
                                     measured.signal[:length],
@@ -164,17 +220,88 @@ def _cmd_savat(args) -> int:
     model = load_model(args.model)
     simulator = EMSim(model, core_config=DEFAULT_CONFIG)
     spc = model.config.samples_per_cycle
+    source = SimulatorSignalSource(simulator)
 
-    def source(program):
-        result = simulator.simulate(program)
-        return result.signal, result.num_cycles
+    if args.matrix:
+        from .leakage import SAVAT_INSTRUCTIONS, format_matrix
+        matrix = savat_matrix(source, spc, workers=args.workers)
+        print(format_matrix(matrix, SAVAT_INSTRUCTIONS))
+        return 0
 
+    pairs = []
     for pair in args.pairs.split(","):
         kind_a, _, kind_b = pair.strip().partition("/")
-        measurement = savat_pair(source, kind_a.upper(), kind_b.upper(),
-                                 spc)
-        print(f"  SAVAT {kind_a.upper()}/{kind_b.upper()}: "
-              f"{measurement.value:8.3f}")
+        pairs.append((kind_a.upper(), kind_b.upper()))
+    matrix = savat_matrix(source, spc, workers=args.workers, pairs=pairs)
+    for kind_a, kind_b in pairs:
+        print(f"  SAVAT {kind_a}/{kind_b}: "
+              f"{matrix[(kind_a, kind_b)]:8.3f}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    import numpy as np
+
+    from .parallel import resolve_workers
+    from .workloads.generators import RandomProgramBuilder
+
+    fault_plan = None
+    if args.fault_rate > 0:
+        fault_plan = FaultPlan.preset(args.fault_rate, seed=args.seed)
+    device = HardwareDevice(board=BOARDS[args.board],
+                            fault_plan=fault_plan)
+    builder = RandomProgramBuilder(seed=args.seed)
+    programs = [builder.program(args.program_length, name=f"bench_{i:04d}")
+                for i in range(args.programs)]
+    print(f"bench: {len(programs)} programs x {args.program_length} "
+          f"instructions x {args.repetitions} repetitions on {device.name}")
+
+    profiler = enable_profiling()
+    start = time.perf_counter()
+    sequential = measurement_campaign(device, programs,
+                                      repetitions=args.repetitions,
+                                      workers=1, seed=args.seed)
+    sequential_seconds = time.perf_counter() - start
+    print(f"  sequential (--workers 1): {sequential_seconds:7.2f} s")
+
+    start = time.perf_counter()
+    batched = measurement_campaign(device, programs,
+                                   repetitions=args.repetitions,
+                                   workers=args.workers, seed=args.seed)
+    batched_seconds = time.perf_counter() - start
+    print(f"  batched  (--workers {args.workers}): "
+          f"{batched_seconds:7.2f} s")
+
+    max_diff = 0.0
+    for left, right in zip(sequential, batched):
+        max_diff = max(max_diff,
+                       float(np.abs(left.signal - right.signal).max()),
+                       float(np.abs(left.amplitudes
+                                    - right.amplitudes).max()))
+    speedup = sequential_seconds / batched_seconds \
+        if batched_seconds > 0 else float("inf")
+    print(f"  speedup: {speedup:5.2f}x   max abs diff: {max_diff:.3e}")
+
+    write_bench_json(args.out, metadata={
+        "benchmark": "measurement_campaign",
+        "programs": len(programs),
+        "program_length": args.program_length,
+        "repetitions": args.repetitions,
+        "board": args.board,
+        "seed": args.seed,
+        "fault_rate": args.fault_rate,
+        "workers_sequential": 1,
+        "workers_batched": resolve_workers(args.workers),
+        "sequential_seconds": sequential_seconds,
+        "batched_seconds": batched_seconds,
+        "speedup": speedup,
+        "max_abs_diff": max_diff,
+    }, profiler=profiler)
+    print(f"report written to {args.out}")
+    if max_diff > 1e-9:
+        print(f"error: batched/sequential divergence {max_diff:.3e} "
+              f"exceeds the 1e-9 contract", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -190,12 +317,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {"train": _cmd_train, "simulate": _cmd_simulate,
                 "accuracy": _cmd_accuracy, "savat": _cmd_savat,
-                "balance": _cmd_balance}
+                "balance": _cmd_balance, "bench": _cmd_bench}
+    if args.profile:
+        enable_profiling()
     try:
         return handlers[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return exc.exit_code
+    finally:
+        if args.profile:
+            print(get_profiler().summary())
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -3,6 +3,7 @@
 from .ablations import ABLATIONS, all_simulators, make_simulator
 from .activity import (average_alpha, stage_class_labels,
                        stage_flip_counts, stage_transition_matrices)
+from .batch import BatchSimulator, CampaignProbe, measurement_campaign
 from .clustering import (ClusterResult, agglomerative_cluster,
                          cluster_instruction_signatures,
                          signature_distance)
@@ -28,7 +29,9 @@ __all__ = [
     "ABLATIONS",
     "ActivityFactorModel",
     "AverageActivity",
+    "BatchSimulator",
     "CLASS_MEMBERS",
+    "CampaignProbe",
     "ClusterResult",
     "EMSim",
     "EMSimConfig",
@@ -62,6 +65,7 @@ __all__ = [
     "load_model",
     "mad_outlier_mask",
     "make_simulator",
+    "measurement_campaign",
     "model_from_dict",
     "model_to_dict",
     "pair_probe",
@@ -74,6 +78,5 @@ __all__ = [
     "stage_flip_counts",
     "stage_transition_matrices",
     "stepwise_select",
-    "train_emsim",
     "train_emsim",
 ]

@@ -41,6 +41,7 @@ class UnitActivity(ActivityFactorModel):
     """``alpha == 1``: ignores operand values entirely."""
 
     def alpha(self, trace: ActivityTrace, stage: str) -> np.ndarray:
+        """All-ones factors: every cycle at nominal activity."""
         return np.ones(trace.num_cycles)
 
 
@@ -55,6 +56,7 @@ class AverageActivity(ActivityFactorModel):
     base_flips: Dict[str, float] = field(default_factory=dict)
 
     def alpha(self, trace: ActivityTrace, stage: str) -> np.ndarray:
+        """Eq. 7 factors from the stage's raw per-cycle flip counts."""
         flips = trace.flip_counts(stage)
         return _clip(average_alpha(flips, self.base_flips.get(stage, 0.0),
                                    stage))
@@ -73,6 +75,8 @@ class RegressionActivity(ActivityFactorModel):
     models: Dict[str, LinearModel] = field(default_factory=dict)
 
     def alpha(self, trace: ActivityTrace, stage: str) -> np.ndarray:
+        """Eq. 8 factors from the stage's fitted transition-bit model
+        (falls back to all-ones for stages without a fit)."""
         model = self.models.get(stage)
         if model is None:
             return np.ones(trace.num_cycles)

@@ -82,21 +82,34 @@ class EMSimModel:
     def predict_cycle_amplitudes(
             self, trace: ActivityTrace,
             switches: Optional[ModelSwitches] = None) -> np.ndarray:
-        """Per-cycle predicted signal amplitudes X[n] for a trace."""
+        """Per-cycle predicted signal amplitudes X[n] for a trace.
+
+        The per-stage arithmetic is vectorized: the Python loop only
+        resolves each cycle's behavioural class (with the A(c, s) lookups
+        memoized per stage), and the Eq. 9 combination runs as one numpy
+        expression per stage.  The operation order matches the original
+        scalar loop element-for-element, so the output is bit-identical
+        — a NOP cycle's zero amplitude contributes ``base + x * 0.0``,
+        which equals ``base`` exactly for finite operands, and stalled
+        cycles are masked to an exact ``0.0`` afterwards.
+        """
         switches = switches or self.config.switches
         activity = self._activity_model(switches)
         cycles = trace.num_cycles
         prediction = np.full(cycles, self.intercept)
         for stage in STAGES:
             floor = self.floors.get(stage, 0.0)
-            scale = self.miso.get(stage, 1.0) * self.beta.get(stage, 1.0)
+            beta = self.beta.get(stage, 1.0)
+            scale = self.miso.get(stage, 1.0) * beta
             alphas = activity.alpha(trace, stage)
-            contribution = np.empty(cycles)
+            amplitudes = np.zeros(cycles)
+            stalled = np.zeros(cycles, dtype=bool)
+            cache: Dict[str, float] = {}
             for cycle, occ in enumerate(trace.occupancy[stage]):
                 em_class = occ.em_class()
                 if em_class == "stall":
                     if switches.model_stalls:
-                        contribution[cycle] = 0.0
+                        stalled[cycle] = True
                         continue
                     # ablation: pretend the stalled instruction kept
                     # switching at full activity
@@ -106,13 +119,15 @@ class EMSimModel:
                         em_class = "load_cache" if occ.dyn == "hit" \
                             else "load_mem"
                 if em_class == "nop":
-                    contribution[cycle] = floor * \
-                        self.beta.get(stage, 1.0)
                     continue
-                amplitude = self.amplitude(em_class, stage, switches)
-                contribution[cycle] = \
-                    floor * self.beta.get(stage, 1.0) + \
-                    scale * alphas[cycle] * amplitude
+                value = cache.get(em_class)
+                if value is None:
+                    value = self.amplitude(em_class, stage, switches)
+                    cache[em_class] = value
+                amplitudes[cycle] = value
+            contribution = (floor * beta) + (scale * alphas) * amplitudes
+            if stalled.any():
+                contribution[stalled] = 0.0
             prediction += contribution
         return prediction
 

@@ -179,6 +179,7 @@ class RobustFitInfo:
     weights: Optional[np.ndarray] = field(default=None, repr=False)
 
     def describe(self) -> str:
+        """One-line fitting summary for training reports."""
         return (f"{self.method}: {self.outliers_rejected}/"
                 f"{self.total_observations} observations down-weighted "
                 f"in {self.iterations} iterations"

@@ -14,6 +14,7 @@ from typing import Optional
 import numpy as np
 
 from ..isa.program import Program
+from ..profiling import get_profiler
 from ..signal.reconstruction import reconstruct
 from ..uarch.config import CoreConfig, DEFAULT_CONFIG
 from ..uarch.oracle import collect_oracle
@@ -70,28 +71,32 @@ class EMSim:
     def run_trace(self, program: Program,
                   max_cycles: Optional[int] = None) -> ActivityTrace:
         """Run the program on EMSim's internal microarchitecture model."""
-        if self.core_kind == "out-of-order":
-            from ..uarch.ooo import OutOfOrderCore
+        with get_profiler().phase("sim.trace"):
+            if self.core_kind == "out-of-order":
+                from ..uarch.ooo import OutOfOrderCore
+                if not self.switches.model_mispredicts:
+                    raise ValueError("the no-mispredict ablation is only "
+                                     "implemented for the in-order core")
+                core = OutOfOrderCore(program,
+                                      config=self._effective_core_config())
+                return core.run(max_cycles=max_cycles)
+            oracle = None
             if not self.switches.model_mispredicts:
-                raise ValueError("the no-mispredict ablation is only "
-                                 "implemented for the in-order core")
-            core = OutOfOrderCore(program,
-                                  config=self._effective_core_config())
+                oracle = collect_oracle(program)
+            core = Pipeline(program, config=self._effective_core_config(),
+                            oracle=oracle)
             return core.run(max_cycles=max_cycles)
-        oracle = None
-        if not self.switches.model_mispredicts:
-            oracle = collect_oracle(program)
-        core = Pipeline(program, config=self._effective_core_config(),
-                        oracle=oracle)
-        return core.run(max_cycles=max_cycles)
 
     def simulate_trace(self, trace: ActivityTrace) -> SimulatedSignal:
         """Predict the signal for an existing activity trace."""
-        amplitudes = self.model.predict_cycle_amplitudes(
-            trace, switches=self.switches)
+        profiler = get_profiler()
+        with profiler.phase("sim.predict"):
+            amplitudes = self.model.predict_cycle_amplitudes(
+                trace, switches=self.switches)
         samples_per_cycle = self.model.config.samples_per_cycle
-        signal = reconstruct(amplitudes, self.model.config.kernel,
-                             samples_per_cycle)
+        with profiler.phase("sim.reconstruct"):
+            signal = reconstruct(amplitudes, self.model.config.kernel,
+                                 samples_per_cycle)
         return SimulatedSignal(amplitudes=amplitudes, signal=signal,
                                trace=trace,
                                samples_per_cycle=samples_per_cycle)
@@ -101,6 +106,21 @@ class EMSim:
         """Full flow: execute the program, predict its EM signal."""
         return self.simulate_trace(self.run_trace(program,
                                                   max_cycles=max_cycles))
+
+    def simulate_many(self, programs, max_cycles: Optional[int] = None,
+                      workers: int = 1):
+        """Simulate many programs through the batched fan-out engine.
+
+        Convenience wrapper around
+        :class:`~repro.core.batch.BatchSimulator`: traces and per-cycle
+        amplitude predictions run per program (optionally on a worker
+        pool), and the waveform reconstructions share one cached kernel
+        response.  Results are in input order and numerically identical
+        to calling :meth:`simulate` per program.
+        """
+        from .batch import BatchSimulator
+        return BatchSimulator(self, workers=workers).simulate_many(
+            programs, max_cycles=max_cycles)
 
     def with_switches(self, **flags) -> "EMSim":
         """A variant simulator with some model switches toggled."""

@@ -20,6 +20,7 @@ internal parameters.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -27,6 +28,8 @@ import numpy as np
 
 from ..hardware.device import HardwareDevice, Measurement
 from ..isa.program import Program
+from ..parallel import parallel_map, resolve_workers, spawn_seed
+from ..profiling import get_profiler
 from ..robustness.errors import ConvergenceError, ProbeError
 from ..robustness.health import HealthPolicy
 from ..robustness.retry import (AcquisitionStats, CaptureSupervisor,
@@ -47,6 +50,39 @@ from .regression import (LinearModel, RobustFitInfo, fit_linear,
                          irls_solve, mad_outlier_mask, stepwise_select)
 
 _AMPLITUDE_EPS = 1e-3
+
+# Per-process capture state for the trainer's worker pool, installed by
+# the pool initializer (inherited by memory under the fork start method).
+_POOL_STATE: dict = {}
+
+
+def _pool_measure_init(device, method: str, repetitions: int,
+                       retry: RetryPolicy, health: HealthPolicy,
+                       allow_degradation: bool, seed: int) -> None:
+    """Build one capture supervisor per pool worker."""
+    _POOL_STATE.update(
+        device=device, method=method, repetitions=repetitions, seed=seed,
+        supervisor=CaptureSupervisor(device, retry=retry, health=health,
+                                     allow_degradation=allow_degradation))
+
+
+def _pool_measure(item):
+    """Capture one indexed probe inside a pool worker.
+
+    The worker's device RNG (and fault injector, if any) is reseeded
+    from ``(trainer seed, probe index)``, so every probe's capture is
+    deterministic and independent of worker count and scheduling.  The
+    capture goes through the batched repetition engine.
+    """
+    index, program = item
+    device = _POOL_STATE["device"]
+    device.rng = spawn_seed(_POOL_STATE["seed"], index)
+    injector = getattr(device, "fault_injector", None)
+    if injector is not None:
+        injector.reseed(spawn_seed(_POOL_STATE["seed"], index, stream=1))
+    return _POOL_STATE["supervisor"].measure(
+        program, method=_POOL_STATE["method"],
+        repetitions=_POOL_STATE["repetitions"], batched=True)
 
 
 @dataclass
@@ -131,6 +167,11 @@ class Trainer:
     seed: int = 42
     fit_kernel_parameters: bool = True
     verbose: bool = False
+    # probe-capture fan-out: 1 (the default) is the exact legacy
+    # sequential path; N > 1 runs probe batches through the batched
+    # capture engine on up to N worker processes with deterministic
+    # per-probe reseeding (see :meth:`_measure_many`)
+    workers: int = 1
     # resilience knobs: health gate + retry around every capture, and
     # robust (Huber-IRLS) fitting so dirty probes cannot poison Eq. 8.
     # ``robust="auto"`` turns robust fitting on exactly when the device
@@ -165,17 +206,61 @@ class Trainer:
     # measurement helpers
     # ------------------------------------------------------------------
     def _measure(self, program: Program) -> Measurement:
-        measurement, outcome = self.supervisor.measure(
-            program, method=self.capture_method,
-            repetitions=self.repetitions)
+        """One gated capture through the supervisor (sequential path)."""
+        with get_profiler().phase("train.capture"):
+            measurement, outcome = self.supervisor.measure(
+                program, method=self.capture_method,
+                repetitions=self.repetitions)
         if outcome.degraded:
             self.report.degraded_probes.append(outcome.program)
         return measurement
 
+    def _measure_many(self, programs: Sequence[Program]
+                      ) -> List[Measurement]:
+        """Capture a batch of probe programs, preserving input order.
+
+        ``workers=1`` (the default) is the exact legacy loop: one
+        sequential capture per probe off the device's shared RNG
+        stream.  With more workers, the probes fan out over a process
+        pool: each probe reseeds its (per-process copy of the) device
+        from ``(trainer seed, probe index)`` and captures through the
+        batched repetition engine, so results are deterministic and
+        independent of worker count.  Ideal-grid captures never touch
+        the device RNG and therefore match the sequential path
+        bit-for-bit; scope+modulo captures follow the per-probe seeding
+        scheme instead of the shared stream (a different but equally
+        valid noise realization).  Worker-side acquisition accounting
+        (retries, rejects, degradations) is folded back into this
+        trainer's report.
+        """
+        programs = list(programs)
+        if resolve_workers(self.workers) <= 1 or len(programs) <= 1:
+            return [self._measure(program) for program in programs]
+        profiler = get_profiler()
+        start = time.perf_counter()
+        results = parallel_map(
+            _pool_measure, list(enumerate(programs)),
+            workers=self.workers,
+            initializer=_pool_measure_init,
+            initargs=(self.device, self.capture_method, self.repetitions,
+                      self.retry_policy or RetryPolicy(seed=self.seed),
+                      self.health_policy or HealthPolicy(),
+                      not self.strict, self.seed))
+        profiler.add_phase("train.capture", time.perf_counter() - start,
+                           calls=len(programs))
+        measurements: List[Measurement] = []
+        for measurement, outcome in results:
+            self.supervisor.stats.record(outcome)
+            if outcome.degraded:
+                self.report.degraded_probes.append(outcome.program)
+            measurements.append(measurement)
+        return measurements
+
     def _amplitudes(self, measurement: Measurement) -> np.ndarray:
-        return estimate_cycle_amplitudes(
-            measurement.signal, self.config.kernel,
-            self.config.samples_per_cycle)
+        with get_profiler().phase("train.deconvolve"):
+            return estimate_cycle_amplitudes(
+                measurement.signal, self.config.kernel,
+                self.config.samples_per_cycle)
 
     @staticmethod
     def _active_cycles(trace: ActivityTrace, seq: int,
@@ -256,8 +341,10 @@ class Trainer:
         def note(cls: str, stage: str, value: float) -> None:
             table.setdefault((cls, stage), []).append(value)
 
-        for cls, program in self._probe_programs().items():
-            measurement = self._measure(program)
+        probe_items = list(self._probe_programs().items())
+        measurements = self._measure_many(
+            [program for _, program in probe_items])
+        for (cls, program), measurement in zip(probe_items, measurements):
             amplitudes = self._amplitudes(measurement)
             trace = measurement.trace
             seq = probe_instruction_seq(program)
@@ -306,11 +393,14 @@ class Trainer:
         targets: Dict[str, List[float]] = {stage: [] for stage in STAGES}
         probe_measurements = []
 
-        for cls, rs1, rs2, offset in self._activity_probe_values():
-            name = REPRESENTATIVES[cls]
-            program = isolation_probe(name, rs1_value=rs1, rs2_value=rs2,
-                                      mem_offset=offset)
-            measurement = self._measure(program)
+        probe_values = self._activity_probe_values()
+        probe_programs = [
+            isolation_probe(REPRESENTATIVES[cls], rs1_value=rs1,
+                            rs2_value=rs2, mem_offset=offset)
+            for cls, rs1, rs2, offset in probe_values]
+        for (cls, _, _, _), program, measurement in zip(
+                probe_values, probe_programs,
+                self._measure_many(probe_programs)):
             probe_measurements.append(measurement)
             measured = self._amplitudes(measurement)
             trace = measurement.trace
@@ -360,14 +450,19 @@ class Trainer:
                       f"R2={model.r_squared:.3f}")
 
         # pass 2: joint refit over isolated + repeated-instruction probes
+        # (operands are drawn up front, in the exact legacy order — the
+        # captures never consume the trainer RNG — so the probe batch
+        # can fan out over workers)
+        repeat_programs = []
         for cls in ("alu", "shift", "muldiv", "load", "store"):
             name = REPRESENTATIVES[cls]
             for _ in range(max(2, self.activity_probes_per_class // 4)):
                 rs1 = int(self.rng.integers(0, 1 << 32))
                 rs2 = int(self.rng.integers(0, 1 << 32))
-                probe_measurements.append(self._measure(repeat_probe(
+                repeat_programs.append(repeat_probe(
                     name, rs1_value=rs1, rs2_value=rs2, count=3,
-                    mem_offset=int(self.rng.integers(0, 400)) * 4)))
+                    mem_offset=int(self.rng.integers(0, 400)) * 4))
+        probe_measurements.extend(self._measure_many(repeat_programs))
         return self._joint_alpha_fit(probe_measurements, nop_level,
                                      amplitudes, selected)
 
@@ -511,8 +606,8 @@ class Trainer:
         level drifts to the dense-code mean.
         """
         designs, targets = [], []
-        for program in self._miso_training_programs():
-            measurement = self._measure(program)
+        for measurement in self._measure_many(
+                self._miso_training_programs()):
             measured = self._amplitudes(measurement)
             trace = measurement.trace
             designs.append(self.miso_design(model, trace))

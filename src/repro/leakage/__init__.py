@@ -11,8 +11,9 @@ from .capacity import (InstructionProfiler, capacity_per_cycle,
                        mutual_information)
 from .mitigation import (BalanceReport, MitigationError,
                          balance_branch_timing)
-from .savat import (SAVAT_INSTRUCTIONS, SavatMeasurement, format_matrix,
-                    savat_matrix, savat_pair, savat_program, savat_value)
+from .savat import (SAVAT_INSTRUCTIONS, SavatMeasurement,
+                    SimulatorSignalSource, format_matrix, savat_matrix,
+                    savat_pair, savat_program, savat_value)
 from .spa import (SpaResult, amplitude_profile, duration_separation,
                   iteration_starts, recover_exponent)
 from .tvla import (TVLA_THRESHOLD, TVLAResult, collect_tvla_traces, tvla,
@@ -30,6 +31,7 @@ __all__ = [
     "BalanceReport",
     "InstructionProfiler",
     "SavatMeasurement",
+    "SimulatorSignalSource",
     "SpaResult",
     "TVLAResult",
     "TVLA_THRESHOLD",

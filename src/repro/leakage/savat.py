@@ -16,6 +16,7 @@ import numpy as np
 
 from ..isa.instructions import Instruction, NOP
 from ..isa.program import Program
+from ..parallel import parallel_map, resolve_workers
 from ..signal.spectrum import harmonic_energy
 from ..workloads.generators import wrap_program
 
@@ -98,6 +99,45 @@ class SavatMeasurement:
     repeats: int
 
 
+@dataclass
+class SimulatorSignalSource:
+    """Picklable ``program -> (signal, num_cycles)`` source over EMSim.
+
+    Wraps any object with a ``simulate(program)`` method returning a
+    :class:`~repro.core.simulator.SimulatedSignal`; being a plain
+    dataclass (rather than a lambda) it survives the pickling that
+    ``savat_matrix(..., workers=N)`` worker pools may require.
+    """
+
+    simulator: object
+
+    def __call__(self, program: Program) -> Tuple[np.ndarray, int]:
+        result = self.simulator.simulate(program)
+        return result.signal, result.num_cycles
+
+
+# Per-process signal source for the SAVAT pool, installed by the
+# initializer (inherited by memory under the fork start method).
+_POOL_STATE: dict = {}
+
+
+def _matrix_init(signal_source, samples_per_cycle: int, repeats: int,
+                 burst: int) -> None:
+    """Install per-process SAVAT sweep state."""
+    _POOL_STATE.update(source=signal_source,
+                       samples_per_cycle=samples_per_cycle,
+                       repeats=repeats, burst=burst)
+
+
+def _matrix_pair(pair) -> SavatMeasurement:
+    """Measure one (A, B) pair inside a pool worker."""
+    kind_a, kind_b = pair
+    return savat_pair(_POOL_STATE["source"], kind_a, kind_b,
+                      _POOL_STATE["samples_per_cycle"],
+                      repeats=_POOL_STATE["repeats"],
+                      burst=_POOL_STATE["burst"])
+
+
 def savat_value(signal: np.ndarray, samples_per_cycle: int,
                 num_cycles: int, repeats: int,
                 harmonics: int = 4) -> float:
@@ -138,16 +178,33 @@ def savat_matrix(signal_source: Callable[[Program],
                  samples_per_cycle: int,
                  kinds: Sequence[str] = SAVAT_INSTRUCTIONS,
                  repeats: int = 12,
-                 burst: int = 24) -> Dict[Tuple[str, str], float]:
-    """The full Table-II matrix of SAVAT values for all ordered pairs."""
-    matrix = {}
-    for kind_a in kinds:
-        for kind_b in kinds:
-            measurement = savat_pair(signal_source, kind_a, kind_b,
-                                     samples_per_cycle, repeats=repeats,
-                                     burst=burst)
-            matrix[(kind_a, kind_b)] = measurement.value
-    return matrix
+                 burst: int = 24,
+                 workers: int = 1,
+                 pairs: "Sequence[Tuple[str, str]] | None" = None
+                 ) -> Dict[Tuple[str, str], float]:
+    """The full Table-II matrix of SAVAT values for all ordered pairs.
+
+    With ``workers > 1`` the pairs fan out over a process pool (results
+    are deterministic for deterministic sources and come back in the
+    same pair order); ``workers=1`` is the plain nested loop.  An
+    explicit ``pairs`` sequence restricts the sweep to those ordered
+    pairs (the CLI's ``--pairs``) instead of the full ``kinds`` square.
+    """
+    if pairs is None:
+        pairs = [(kind_a, kind_b) for kind_a in kinds for kind_b in kinds]
+    else:
+        pairs = list(pairs)
+    if resolve_workers(workers) <= 1:
+        measurements = [savat_pair(signal_source, kind_a, kind_b,
+                                   samples_per_cycle, repeats=repeats,
+                                   burst=burst)
+                        for kind_a, kind_b in pairs]
+    else:
+        measurements = parallel_map(
+            _matrix_pair, pairs, workers=workers,
+            initializer=_matrix_init,
+            initargs=(signal_source, samples_per_cycle, repeats, burst))
+    return {(m.kind_a, m.kind_b): m.value for m in measurements}
 
 
 def format_matrix(matrix: Dict[Tuple[str, str], float],

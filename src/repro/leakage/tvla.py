@@ -13,8 +13,25 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from ..parallel import parallel_map, resolve_workers
+
 TVLA_THRESHOLD = 4.5
 """The conventional TVLA significance threshold."""
+
+# Per-process trace source for the collection pool, installed by the
+# initializer (inherited by memory under the fork start method, so even
+# closure-based sources work).
+_POOL_STATE: dict = {}
+
+
+def _collect_init(trace_source) -> None:
+    """Install the trace source in a pool worker."""
+    _POOL_STATE["source"] = trace_source
+
+
+def _collect_trace(value):
+    """Run the installed trace source on one input."""
+    return _POOL_STATE["source"](value)
 
 
 def welch_t_statistic(group_a: np.ndarray,
@@ -101,17 +118,26 @@ def collect_tvla_traces(trace_source: Callable[[Sequence[int]], np.ndarray],
                         fixed_input: Sequence[int],
                         num_traces: int,
                         rng: np.random.Generator,
-                        input_length: Optional[int] = None
+                        input_length: Optional[int] = None,
+                        workers: int = 1
                         ) -> "tuple[List[np.ndarray], List[np.ndarray]]":
     """Drive a trace source with fixed vs random inputs.
 
     ``trace_source`` maps an input byte sequence to one signal trace
-    (e.g. an AES run on real hardware or through EMSim).
+    (e.g. an AES run on real hardware or through EMSim).  All random
+    inputs are drawn from ``rng`` up front, in order, then the source
+    runs once per input — with ``workers > 1`` the runs fan out over a
+    process pool (ordered and deterministic for deterministic sources,
+    e.g. EMSim).
     """
     input_length = input_length or len(fixed_input)
-    fixed_traces = [trace_source(list(fixed_input))
-                    for _ in range(num_traces)]
-    random_traces = [trace_source(list(rng.integers(0, 256,
-                                                    size=input_length)))
-                     for _ in range(num_traces)]
-    return fixed_traces, random_traces
+    inputs = [list(fixed_input) for _ in range(num_traces)]
+    inputs += [list(rng.integers(0, 256, size=input_length))
+               for _ in range(num_traces)]
+    if resolve_workers(workers) <= 1:
+        traces = [trace_source(value) for value in inputs]
+    else:
+        traces = parallel_map(_collect_trace, inputs, workers=workers,
+                              initializer=_collect_init,
+                              initargs=(trace_source,))
+    return traces[:num_traces], traces[num_traces:]

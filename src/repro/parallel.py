@@ -1,0 +1,123 @@
+"""Deterministic chunked worker-pool fan-out for campaign workloads.
+
+Model building, TVLA, and SAVAT are campaign-shaped: thousands of
+independent (program -> capture -> amplitudes) items.  This module owns
+the one sanctioned way to fan those items out over processes:
+
+* **ordered** — results always come back in input order, regardless of
+  worker scheduling;
+* **deterministic** — callers seed *per item* (see
+  :func:`spawn_seed`), never from a shared stream, so the result of item
+  ``i`` is independent of worker count and chunk layout;
+* **degradable** — ``workers=1`` (the default everywhere) never touches
+  ``multiprocessing``; it runs the plain in-process loop, which is also
+  the fallback when a pool cannot be created (restricted sandboxes).
+
+The worker function and its items must be picklable (top-level
+functions, dataclasses, numpy arrays).  Per-worker state that is
+expensive to pickle per item (a :class:`~repro.hardware.device.HardwareDevice`,
+a trained model) goes through ``initializer``/``initargs`` and lives in
+the worker's module globals.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+import numpy as np
+
+__all__ = ["resolve_workers", "parallel_map", "spawn_seed"]
+
+_ItemT = TypeVar("_ItemT")
+_ResultT = TypeVar("_ResultT")
+
+MAX_WORKERS = 64
+"""Upper clamp on worker processes (beyond this, fork cost dominates)."""
+
+
+def resolve_workers(workers) -> int:
+    """Normalize a worker-count request to an integer >= 1.
+
+    Accepts an int, a numeric string, or ``"auto"`` (one worker per
+    available CPU).  Values below 1 are clamped to 1; values above
+    :data:`MAX_WORKERS` are clamped down.
+    """
+    if workers in ("auto", None):
+        count = os.cpu_count() or 1
+    else:
+        count = int(workers)
+    return max(1, min(MAX_WORKERS, count))
+
+
+def spawn_seed(base_seed: int, index: int,
+               stream: int = 0) -> np.random.Generator:
+    """Per-item RNG keyed on ``(base_seed, stream, index)``.
+
+    The standard recipe for deterministic parallelism here: every
+    campaign item derives its own generator from the campaign seed and
+    its position, so captures are reproducible and independent of how
+    items land on workers.  ``stream`` separates independent consumers
+    of the same campaign item (e.g. the device's scope RNG at stream 0
+    and its fault injector at stream 1) without any risk of collision.
+    """
+    return np.random.default_rng([int(base_seed), int(stream), int(index)])
+
+
+def _chunk_size(num_items: int, workers: int) -> int:
+    """Chunk items so each worker sees a handful of batches.
+
+    Large chunks amortize pickling; a few chunks per worker keep the
+    tail balanced when per-item cost varies.
+    """
+    return max(1, math.ceil(num_items / (workers * 4)))
+
+
+def parallel_map(function: Callable[[_ItemT], _ResultT],
+                 items: Sequence[_ItemT],
+                 workers: int = 1,
+                 initializer: Optional[Callable] = None,
+                 initargs: tuple = (),
+                 chunk_size: Optional[int] = None) -> List[_ResultT]:
+    """Map ``function`` over ``items``, optionally across processes.
+
+    Results are returned in input order.  With ``workers <= 1`` (or one
+    item, or no usable ``multiprocessing``), runs in-process: the
+    ``initializer`` is invoked once and the loop is a plain ``for`` —
+    bit-identical to not using this module at all.
+    """
+    items = list(items)
+    workers = resolve_workers(workers)
+    if workers <= 1 or len(items) <= 1:
+        return _serial_map(function, items, initializer, initargs)
+    try:
+        import multiprocessing
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:                        # pragma: no cover
+            context = multiprocessing.get_context("spawn")
+        # never run more processes than the machine has CPUs: the items
+        # are CPU-bound, so extra processes only add fork + IPC overhead
+        processes = min(workers, len(items), os.cpu_count() or 1)
+        if processes <= 1:
+            return _serial_map(function, items, initializer, initargs)
+        pool = context.Pool(processes=processes,
+                            initializer=initializer,
+                            initargs=initargs)
+    except (ImportError, OSError):                # pragma: no cover
+        # restricted environments (no /dev/shm, fork disabled): degrade
+        return _serial_map(function, items, initializer, initargs)
+    try:
+        size = chunk_size or _chunk_size(len(items), workers)
+        return pool.map(function, items, chunksize=size)
+    finally:
+        pool.close()
+        pool.join()
+
+
+def _serial_map(function, items, initializer, initargs) -> list:
+    """The in-process fallback: initializer once, then an ordered loop."""
+    if initializer is not None:
+        initializer(*initargs)
+    return [function(item) for item in items]

@@ -22,13 +22,13 @@ place of the clean capture.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from .errors import AcquisitionError
 
-__all__ = ["FaultPlan", "FaultInjector", "FAULT_KINDS"]
+__all__ = ["FaultPlan", "FaultInjector", "CorruptionRecipe", "FAULT_KINDS"]
 
 FAULT_KINDS = ("trigger_loss", "brownout", "drop", "saturation", "burst",
                "drift", "jitter_spike")
@@ -105,6 +105,26 @@ class FaultPlan:
         return f"FaultPlan({', '.join(parts) or 'clean'}, seed={self.seed})"
 
 
+@dataclass
+class CorruptionRecipe:
+    """One capture's drawn corruption decisions, ready to apply.
+
+    Produced by :meth:`FaultInjector.draw_corruption`; ``None`` fields
+    mean the corresponding fault did not fire.  Splitting draw from
+    apply lets the batched acquisition path consume the injector's RNG
+    stream in exact sequential order while deferring the (hoisted)
+    signal evaluation.
+    """
+
+    drift_span: Optional[float] = None
+    saturate: bool = False
+    burst_start: int = 0
+    burst_noise: Optional[np.ndarray] = None
+    jitter_pivot: Optional[int] = None
+    jitter_shift: float = 0.0
+    drop_keep: Optional[np.ndarray] = None
+
+
 class FaultInjector:
     """Applies a :class:`FaultPlan` to successive captures.
 
@@ -117,6 +137,17 @@ class FaultInjector:
         self.plan = plan
         self.rng = np.random.default_rng(plan.seed)
         self.counters: Dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+        self._brownout_remaining = 0
+
+    def reseed(self, rng: np.random.Generator) -> None:
+        """Rebase the injector on a fresh RNG stream.
+
+        Used by parallel campaigns to give every probe its own
+        deterministic fault stream (independent of worker scheduling).
+        A fresh stream implies a fresh bench state, so the brown-out
+        countdown is cleared too; the fault counters keep accumulating.
+        """
+        self.rng = rng
         self._brownout_remaining = 0
 
     # ------------------------------------------------------------------
@@ -145,6 +176,80 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # sample-corrupting faults
     # ------------------------------------------------------------------
+    def draw_corruption(self, length: int) -> "CorruptionRecipe":
+        """Draw this capture's corruption decisions without applying them.
+
+        Every fault decision is *value-independent* — the RNG draws
+        depend only on the capture length — so the batched acquisition
+        path can consume the fault stream in exact sequential order
+        *before* the (hoisted) waveform evaluation, then apply the
+        recorded recipe afterwards.  One ``draw_corruption`` +
+        :meth:`apply_corruption` pair is bit-identical to one
+        :meth:`corrupt` call, including the RNG stream it leaves behind.
+        """
+        plan, rng = self.plan, self.rng
+        recipe = CorruptionRecipe()
+
+        if plan.drift_prob > 0.0 and rng.random() < plan.drift_prob:
+            self.counters["drift"] += 1
+            recipe.drift_span = plan.drift_span * rng.uniform(-1.0, 1.0)
+
+        if plan.saturation_prob > 0.0 and \
+                rng.random() < plan.saturation_prob:
+            self.counters["saturation"] += 1
+            recipe.saturate = True
+
+        if plan.burst_prob > 0.0 and rng.random() < plan.burst_prob:
+            self.counters["burst"] += 1
+            width = max(1, int(plan.burst_fraction * length))
+            recipe.burst_start = int(rng.integers(0, max(1, length - width)))
+            recipe.burst_noise = rng.normal(0.0, plan.burst_rms, size=width)
+
+        if plan.jitter_spike_prob > 0.0 and \
+                rng.random() < plan.jitter_spike_prob:
+            self.counters["jitter_spike"] += 1
+            recipe.jitter_pivot = int(rng.integers(0, max(1, length)))
+            recipe.jitter_shift = plan.jitter_spike_cycles * \
+                rng.uniform(-1.0, 1.0)
+
+        if plan.drop_rate > 0.0:
+            keep = rng.random(length) >= plan.drop_rate
+            if not keep.all():
+                self.counters["drop"] += 1
+                recipe.drop_keep = keep
+
+        return recipe
+
+    def apply_corruption(self, recipe: "CorruptionRecipe",
+                         times: np.ndarray, samples: np.ndarray
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+        """Apply a previously drawn :class:`CorruptionRecipe`.
+
+        Pure (no RNG): transforms ``(times, samples)`` exactly as the
+        inline path would have.
+        """
+        plan = self.plan
+        times = np.asarray(times, dtype=float)
+        samples = np.asarray(samples, dtype=float)
+
+        if recipe.drift_span is not None:
+            samples = samples * np.linspace(1.0, 1.0 + recipe.drift_span,
+                                            len(samples))
+        if recipe.saturate:
+            samples = samples * plan.saturation_gain
+        if recipe.burst_noise is not None:
+            samples = samples.copy()
+            start = recipe.burst_start
+            samples[start:start + len(recipe.burst_noise)] += \
+                recipe.burst_noise
+        if recipe.jitter_pivot is not None:
+            times = times.copy()
+            times[recipe.jitter_pivot:] += recipe.jitter_shift
+        if recipe.drop_keep is not None:
+            times = times[recipe.drop_keep]
+            samples = samples[recipe.drop_keep]
+        return times, samples
+
     def corrupt(self, times: np.ndarray, samples: np.ndarray
                 ) -> Tuple[np.ndarray, np.ndarray]:
         """Apply the plan's signal-level faults to one raw capture.
@@ -153,43 +258,9 @@ class FaultInjector:
         zero-filled — exactly what a scope with transfer hiccups hands
         back).  Applied *before* ADC quantization so saturation rails.
         """
-        plan, rng = self.plan, self.rng
-        times = np.asarray(times, dtype=float)
         samples = np.asarray(samples, dtype=float)
-
-        if plan.drift_prob > 0.0 and rng.random() < plan.drift_prob:
-            self.counters["drift"] += 1
-            span = plan.drift_span * rng.uniform(-1.0, 1.0)
-            samples = samples * np.linspace(1.0, 1.0 + span, len(samples))
-
-        if plan.saturation_prob > 0.0 and \
-                rng.random() < plan.saturation_prob:
-            self.counters["saturation"] += 1
-            samples = samples * plan.saturation_gain
-
-        if plan.burst_prob > 0.0 and rng.random() < plan.burst_prob:
-            self.counters["burst"] += 1
-            width = max(1, int(plan.burst_fraction * len(samples)))
-            start = rng.integers(0, max(1, len(samples) - width))
-            samples = samples.copy()
-            samples[start:start + width] += rng.normal(
-                0.0, plan.burst_rms, size=width)
-
-        if plan.jitter_spike_prob > 0.0 and \
-                rng.random() < plan.jitter_spike_prob:
-            self.counters["jitter_spike"] += 1
-            pivot = rng.integers(0, max(1, len(times)))
-            shift = plan.jitter_spike_cycles * rng.uniform(-1.0, 1.0)
-            times = times.copy()
-            times[pivot:] += shift
-
-        if plan.drop_rate > 0.0:
-            keep = rng.random(len(samples)) >= plan.drop_rate
-            if not keep.all():
-                self.counters["drop"] += 1
-                times, samples = times[keep], samples[keep]
-
-        return times, samples
+        recipe = self.draw_corruption(len(samples))
+        return self.apply_corruption(recipe, times, samples)
 
     def total_faults(self) -> int:
         """Total fault events fired so far (all kinds)."""

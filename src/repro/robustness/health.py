@@ -168,12 +168,33 @@ def screen_repetitions(times_list, samples_list, period: float,
     if count == 0:
         return RepetitionScreen(keep=keep, reasons=reasons)
 
+    # Equal-length repetitions (the overwhelmingly common case — only
+    # drop faults produce ragged lists) stack into a matrix so both
+    # screening stages run as row-wise reductions.  numpy reduces each
+    # row of a 2-D array with the same pairwise summation it applies to
+    # the equivalent 1-D array, so the stacked statistics are
+    # bit-identical to the per-repetition loop's.
+    lengths = {len(s) for s in samples_list}
+    stacked = np.vstack(samples_list) if len(lengths) == 1 else None
+
     # stage A: per-trace amplitude statistics
-    rms = np.array([float(np.sqrt(np.mean(np.square(s))) + _EPS)
-                    for s in samples_list])
+    if stacked is not None:
+        rms = np.sqrt(np.mean(np.square(stacked), axis=1)) + _EPS
+    else:
+        rms = np.array([float(np.sqrt(np.mean(np.square(s))) + _EPS)
+                        for s in samples_list])
     median_rms = float(np.median(rms))
-    for index, samples in enumerate(samples_list):
-        clip = clipping_ratio(samples, adc_range, adc_bits)
+    if stacked is not None:
+        step = adc_range / (2 ** adc_bits)
+        low = -adc_range / 2.0
+        high = adc_range / 2.0 - step
+        railed = (stacked <= low + step / 2) | (stacked >= high - step / 2)
+        clip_ratios = np.mean(railed, axis=1)
+    else:
+        clip_ratios = np.array([clipping_ratio(s, adc_range, adc_bits)
+                                for s in samples_list])
+    for index in range(count):
+        clip = float(clip_ratios[index])
         if clip > max_clipping_ratio:
             keep[index] = False
             reasons.append(f"rep {index}: clipped ({clip:.1%})")
@@ -193,14 +214,23 @@ def screen_repetitions(times_list, samples_list, period: float,
         reference, _ = modulo_average(survivor_samples, survivor_times,
                                       period=period, num_bins=num_bins)
         residuals = np.full(count, np.nan)
-        for index in range(count):
-            if not keep[index]:
-                continue
-            offsets = modular_offsets(times_list[index], period)
+        if stacked is not None:
+            times_mat = np.vstack(times_list)
+            offsets = modular_offsets(times_mat, period)
             bins = np.round(offsets / period * num_bins).astype(int) \
                 % num_bins
-            residual = samples_list[index] - reference[bins]
-            residuals[index] = float(np.sqrt(np.mean(residual ** 2)))
+            residual = stacked - reference[bins]
+            all_residuals = np.sqrt(np.mean(residual ** 2, axis=1))
+            residuals[keep] = all_residuals[keep]
+        else:
+            for index in range(count):
+                if not keep[index]:
+                    continue
+                offsets = modular_offsets(times_list[index], period)
+                bins = np.round(offsets / period * num_bins).astype(int) \
+                    % num_bins
+                residual = samples_list[index] - reference[bins]
+                residuals[index] = float(np.sqrt(np.mean(residual ** 2)))
         median_residual = float(np.nanmedian(residuals))
         if median_residual > _EPS:
             for index in range(count):

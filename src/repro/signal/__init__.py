@@ -9,8 +9,9 @@ from .metrics import (amplitude_correlation, cross_correlation,
                       per_cycle_correlations, per_cycle_similarities,
                       rms_error, simulation_accuracy)
 from .modulo import fold_repetitions, modular_offsets, modulo_average
-from .reconstruction import (estimate_cycle_amplitudes, peak_amplitudes,
-                             reconstruct, reconstruct_at)
+from .reconstruction import (batch_estimate_cycle_amplitudes,
+                             batch_reconstruct, estimate_cycle_amplitudes,
+                             peak_amplitudes, reconstruct, reconstruct_at)
 from .spectrum import harmonic_energy, power_spectrum, spike_energy
 
 __all__ = [
@@ -22,6 +23,8 @@ __all__ = [
     "RectKernel",
     "ScopeConfig",
     "amplitude_correlation",
+    "batch_estimate_cycle_amplitudes",
+    "batch_reconstruct",
     "cross_correlation",
     "estimate_cycle_amplitudes",
     "fold_repetitions",

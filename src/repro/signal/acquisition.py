@@ -50,6 +50,7 @@ class RepetitionStats:
 
     @property
     def delivered(self) -> int:
+        """Repetitions that actually arrived (requested minus lost)."""
         return self.requested - self.lost
 
 
@@ -111,8 +112,9 @@ class Oscilloscope:
     def capture_repetitions(self,
                             continuous: Callable[[np.ndarray], np.ndarray],
                             duration_cycles: float,
-                            repetitions: int) -> Tuple[np.ndarray,
-                                                       np.ndarray]:
+                            repetitions: int,
+                            batched: bool = False) -> Tuple[np.ndarray,
+                                                            np.ndarray]:
         """Capture ``repetitions`` back-to-back traces of the same
         sequence, concatenated on a common absolute time axis.
 
@@ -124,7 +126,7 @@ class Oscilloscope:
         of the requested traces are gone.
         """
         times_list, samples_list = self.capture_repetition_list(
-            continuous, duration_cycles, repetitions)
+            continuous, duration_cycles, repetitions, batched=batched)
         lost = self.last_repetition_stats.lost
         if not samples_list or lost > repetitions * self.MAX_LOST_FRACTION:
             raise AcquisitionError(
@@ -136,7 +138,8 @@ class Oscilloscope:
                                 continuous: Callable[[np.ndarray],
                                                      np.ndarray],
                                 duration_cycles: float,
-                                repetitions: int
+                                repetitions: int,
+                                batched: bool = False
                                 ) -> Tuple[list, list]:
         """Capture repetitions as *separate* traces (for screening).
 
@@ -144,7 +147,14 @@ class Oscilloscope:
         each already shifted onto the common absolute time axis; lost
         repetitions are recorded in ``last_repetition_stats`` instead of
         raising, so the caller decides how many losses are tolerable.
+
+        ``batched=True`` selects the vectorized collection loop
+        (:meth:`_capture_repetitions_batched`), which produces
+        bit-identical traces for a fraction of the wall time.
         """
+        if batched:
+            return self._capture_repetitions_batched(
+                continuous, duration_cycles, repetitions)
         times_list: list = []
         samples_list: list = []
         lost = 0
@@ -159,6 +169,58 @@ class Oscilloscope:
             # the sequence restarts every duration_cycles; fold later
             times_list.append(times + repetition * duration_cycles)
             samples_list.append(samples)
+        self.last_repetition_stats = RepetitionStats(requested=repetitions,
+                                                     lost=lost)
+        return times_list, samples_list
+
+    def _capture_repetitions_batched(self,
+                                     continuous: Callable[[np.ndarray],
+                                                          np.ndarray],
+                                     duration_cycles: float,
+                                     repetitions: int) -> Tuple[list, list]:
+        """Vectorized repetition loop: one waveform evaluation for all
+        repetitions.
+
+        The sequential loop pays the continuous-waveform evaluation's
+        per-call overhead once *per repetition*; this path replays the
+        exact same RNG stream (trigger gating and corruption draws per
+        repetition, in order), concatenates every delivered repetition's
+        sampling grid, evaluates ``y(t)`` **once**, then splits, adds the
+        pre-drawn noise, applies the pre-drawn corruption recipes, and
+        quantizes.  Because the waveform evaluation is elementwise, the
+        returned traces are bit-identical to the sequential loop's.
+        """
+        config = self.config
+        count = int(duration_cycles * config.effective_rate)
+        plans = []          # (repetition, times, noise, recipe)
+        lost = 0
+        for repetition in range(repetitions):
+            if self.injector is not None:
+                try:
+                    self.injector.begin_capture()
+                except AcquisitionError:
+                    lost += 1
+                    continue
+            jitter = self.rng.uniform(0, config.trigger_jitter_cycles)
+            times = jitter + np.arange(count) / config.effective_rate
+            noise = self.rng.normal(0.0, config.noise_rms, size=count)
+            recipe = self.injector.draw_corruption(count) \
+                if self.injector is not None else None
+            plans.append((repetition, times, noise, recipe))
+
+        times_list: list = []
+        samples_list: list = []
+        if plans:
+            values = continuous(np.concatenate([plan[1] for plan in plans]))
+            offset = 0
+            for repetition, times, noise, recipe in plans:
+                samples = values[offset:offset + count] + noise
+                offset += count
+                if recipe is not None:
+                    times, samples = self.injector.apply_corruption(
+                        recipe, times, samples)
+                times_list.append(times + repetition * duration_cycles)
+                samples_list.append(self._quantize(samples))
         self.last_repetition_stats = RepetitionStats(requested=repetitions,
                                                      lost=lost)
         return times_list, samples_list

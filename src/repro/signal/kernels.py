@@ -15,8 +15,28 @@ Time is normalized to clock cycles: ``tau = t / T_clk``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
+
+
+@lru_cache(maxsize=256)
+def sampled_response(kernel: "Kernel",
+                     samples_per_cycle: int) -> np.ndarray:
+    """Cached discrete impulse response of ``kernel`` at a resolution.
+
+    Kernels are frozen (hashable) dataclasses, so the sampled response
+    for a given ``(kernel, samples_per_cycle)`` pair is computed once per
+    process and shared by every trace of a campaign — the batch engine's
+    "precompute the kernel matrix per sampling config" optimization
+    starts here.  The returned array is marked read-only; callers that
+    need to mutate it must copy.
+    """
+    length = int(np.ceil(kernel.support_cycles * samples_per_cycle))
+    tau = np.arange(length) / samples_per_cycle
+    response = np.asarray(kernel.evaluate(tau), dtype=float)
+    response.setflags(write=False)
+    return response
 
 
 @dataclass(frozen=True)
@@ -35,10 +55,9 @@ class Kernel:
 
     def sampled(self, samples_per_cycle: int) -> np.ndarray:
         """Discrete impulse response over the support, one entry per
-        sample at ``samples_per_cycle`` resolution."""
-        length = int(np.ceil(self.support_cycles * samples_per_cycle))
-        tau = np.arange(length) / samples_per_cycle
-        return self.evaluate(tau)
+        sample at ``samples_per_cycle`` resolution (cached per kernel +
+        resolution; the array is read-only)."""
+        return sampled_response(self, samples_per_cycle)
 
 
 @dataclass(frozen=True)
@@ -49,6 +68,7 @@ class RectKernel(Kernel):
     support_cycles: float = 1.0
 
     def evaluate(self, tau: np.ndarray) -> np.ndarray:
+        """1 inside the hold window [0, duration), 0 elsewhere."""
         tau = np.asarray(tau, dtype=float)
         return np.where((tau >= 0.0) & (tau < self.duration), 1.0, 0.0)
 
@@ -61,6 +81,7 @@ class ExpKernel(Kernel):
     support_cycles: float = 3.0
 
     def evaluate(self, tau: np.ndarray) -> np.ndarray:
+        """Causal exponential decay at offsets ``tau``."""
         tau = np.asarray(tau, dtype=float)
         return np.where(tau >= 0.0, np.exp(-self.theta * tau), 0.0)
 
@@ -81,6 +102,7 @@ class DampedSineKernel(Kernel):
     support_cycles: float = 3.0
 
     def evaluate(self, tau: np.ndarray) -> np.ndarray:
+        """Causal damped sinusoid (Eq. 5) at offsets ``tau``."""
         tau = np.asarray(tau, dtype=float)
         value = np.sin(2.0 * np.pi * tau / self.t0 + self.phase) * \
             np.exp(-self.theta * tau)

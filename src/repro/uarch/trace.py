@@ -112,6 +112,18 @@ class ActivityTrace:
             self.occupancy[stage].append(occupancy[stage])
             self._values[stage].append(latch_values[stage])
 
+    # -- pickling ---------------------------------------------------------
+    def __getstate__(self):
+        """Drop the derived transition-matrix cache when pickling.
+
+        Worker pools ship traces between processes; the cache is pure
+        derived data (recomputed on demand) and can be large, so it
+        never travels.
+        """
+        state = dict(self.__dict__)
+        state.pop("_transition_cache", None)
+        return state
+
     # -- shape ------------------------------------------------------------
     @property
     def num_cycles(self) -> int:
