@@ -1,9 +1,9 @@
 # Development gates. `make check` is the one-stop pre-commit target.
 
 PYTHON ?= python
-export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test docstrings docs bench
+.PHONY: check test docstrings docs bench bench-quick
 
 check: test docstrings docs
 
@@ -17,6 +17,15 @@ docs:
 	$(PYTHON) tools/check_docs.py
 
 # Not part of `check` (runs ~1 min): the sequential-vs-batched campaign
-# benchmark that writes benchmarks/results/BENCH_sim.json.
+# benchmark (BENCH_sim.json) and the model-building fast-path benchmark
+# (BENCH_train.json) under benchmarks/results/.
 bench:
-	cd benchmarks && $(PYTHON) -m pytest test_perf_campaign.py -x -q
+	cd benchmarks && $(PYTHON) -m pytest test_perf_campaign.py \
+		test_perf_training.py -x -q
+
+# Tiny-size smoke run of the training benchmark (seconds, not minutes);
+# writes BENCH_train.quick.json so the committed full-size artifact is
+# never clobbered.
+bench-quick:
+	cd benchmarks && REPRO_BENCH_QUICK=1 $(PYTHON) -m pytest \
+		test_perf_training.py -x -q

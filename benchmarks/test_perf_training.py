@@ -1,0 +1,91 @@
+"""Perf: the model-building fast path vs the pre-optimization scalar path.
+
+The acceptance claim for the fast path (docs/architecture.md): an
+end-to-end ``Trainer.fit`` on a Table-I-scale workload runs at least 5x
+faster with ``fast=True`` on a warm trace cache than the ``fast=False``
+scalar reference, while producing a **bit-identical** model — the same
+step-wise feature sets, the same instruction-cluster assignments, and
+the same coefficients (the serialized model dicts compare equal, which
+is stronger than the 1e-9 contract).
+
+Emits the machine-readable ``benchmarks/results/BENCH_train.json``
+report (schema ``repro-bench/1``).  ``REPRO_BENCH_QUICK=1`` shrinks the
+workload so the whole bench fits inside the tier-1 time budget
+(``make bench-quick``) and writes ``BENCH_train.quick.json`` instead,
+keeping the committed full-size artifact intact.
+"""
+
+import os
+import time
+
+import pytest
+
+from conftest import RESULTS_DIR, run_once
+from repro.core import (Trainer, configure_trace_cache, get_trace_cache,
+                        model_to_dict)
+from repro.hardware import HardwareDevice
+from repro.profiling import disable_profiling, enable_profiling, \
+    write_bench_json
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+PROBES = 2 if QUICK else 8
+SPEEDUP_FLOOR = 2.0 if QUICK else 5.0
+REPORT = "BENCH_train.quick.json" if QUICK else "BENCH_train.json"
+
+
+def _fit(fast, clear_cache):
+    if clear_cache:
+        configure_trace_cache(clear=True)
+    device = HardwareDevice()
+    trainer = Trainer(device=device, activity_probes_per_class=PROBES,
+                      seed=0, fast=fast)
+    start = time.perf_counter()
+    model = trainer.train()
+    return model_to_dict(model), time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="perf")
+def test_training_fast_path_speedup(benchmark, record):
+    def experiment():
+        profiler = enable_profiling()
+        profiler.reset()
+        try:
+            legacy, legacy_seconds = _fit(fast=False, clear_cache=True)
+            cold, cold_seconds = _fit(fast=True, clear_cache=True)
+            warm, warm_seconds = _fit(fast=True, clear_cache=False)
+        finally:
+            disable_profiling()
+        stats = get_trace_cache().stats
+        document = write_bench_json(
+            os.path.join(RESULTS_DIR, REPORT),
+            metadata={
+                "benchmark": "trainer_fit",
+                "quick": QUICK,
+                "probes_per_class": PROBES,
+                "legacy_seconds": legacy_seconds,
+                "fast_cold_seconds": cold_seconds,
+                "fast_warm_seconds": warm_seconds,
+                "speedup_cold": legacy_seconds / cold_seconds,
+                "speedup_warm": legacy_seconds / warm_seconds,
+                "models_identical": legacy == cold == warm,
+                "trace_cache_hits": stats.hits,
+                "trace_cache_misses": stats.misses,
+            }, profiler=profiler)
+        return document
+
+    document = run_once(benchmark, experiment)
+    lines = [f"Trainer.fit at {PROBES} probes/class"
+             + (" (quick mode)" if QUICK else ""),
+             f"legacy scalar fit:    {document['legacy_seconds']:7.2f} s",
+             f"fast fit (cold cache): {document['fast_cold_seconds']:6.2f} s",
+             f"fast fit (warm cache): {document['fast_warm_seconds']:6.2f} s",
+             f"speedup: cold {document['speedup_cold']:5.2f}x, warm "
+             f"{document['speedup_warm']:5.2f}x  "
+             f"(floor {SPEEDUP_FLOOR:.1f}x warm)",
+             f"models identical: {document['models_identical']}",
+             f"trace cache: {document['trace_cache_hits']} hits / "
+             f"{document['trace_cache_misses']} misses"]
+    record("perf_training", "\n".join(lines))
+    assert document["models_identical"]
+    assert document["trace_cache_hits"] > 0
+    assert document["speedup_warm"] >= SPEEDUP_FLOOR

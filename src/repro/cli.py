@@ -12,10 +12,13 @@ Usage (also available as ``python -m repro``)::
 ``simulate`` runs a RV32IM assembly file through EMSim and reports the
 per-cycle amplitudes; ``accuracy`` scores the model on held-out coverage
 groups; ``savat`` computes simulated SAVAT values for instruction pairs;
-``bench`` times a sequential vs batched/parallel measurement campaign
-and writes the machine-readable ``BENCH_sim.json`` report.  The global
-``--profile`` flag prints a per-phase wall-time table after any command.
-The full reference lives in ``docs/cli.md``.
+``bench`` times either a sequential vs batched/parallel measurement
+campaign (``--mode sim``, writes ``BENCH_sim.json``) or the scalar vs
+fast model-building path (``--mode train``, writes ``BENCH_train.json``).
+Global flags: ``--profile`` prints a per-phase wall-time table (including
+trace-cache hit/miss counters) after any command; ``--no-trace-cache``
+and ``--trace-cache-dir`` control the content-addressed activity-trace
+cache.  The full reference lives in ``docs/cli.md``.
 """
 
 from __future__ import annotations
@@ -53,6 +56,14 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--profile", action="store_true",
                         help="print per-phase wall-time profile after "
                              "the command finishes")
+    parser.add_argument("--no-trace-cache", action="store_true",
+                        help="disable the content-addressed activity-"
+                             "trace cache (every run re-executes the "
+                             "pipeline)")
+    parser.add_argument("--trace-cache-dir", default=None, metavar="DIR",
+                        help="persist trace-cache entries to this "
+                             "directory so repeated invocations reuse "
+                             "them")
     commands = parser.add_subparsers(dest="command", required=True)
 
     train = commands.add_parser("train", help="train a model on the bench")
@@ -77,6 +88,11 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument("--workers", type=_workers_arg, default=1,
                        help="worker processes for probe captures "
                             "(int or 'auto'; 1 = exact sequential path)")
+    train.add_argument("--legacy-fit", action="store_true",
+                       help="use the pre-optimization scalar model-"
+                            "building path instead of the Gram/sweep "
+                            "fast path (results are identical; this "
+                            "exists for cross-checking)")
 
     simulate = commands.add_parser(
         "simulate", help="simulate the EM signal of an assembly program")
@@ -115,7 +131,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
     bench = commands.add_parser(
         "bench", help="time sequential vs batched measurement campaigns "
-                      "and write BENCH_sim.json")
+                      "(--mode sim) or scalar vs fast model building "
+                      "(--mode train) and write a BENCH_*.json report")
+    bench.add_argument("--mode", default="sim", choices=("sim", "train"),
+                       help="sim: measurement-campaign fan-out bench; "
+                            "train: Trainer.fit fast-path bench")
+    bench.add_argument("--probes", type=int, default=6,
+                       help="activity probes per class for --mode train")
     bench.add_argument("--programs", type=int, default=256,
                        help="number of random campaign programs")
     bench.add_argument("--program-length", type=int, default=32,
@@ -132,8 +154,10 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--fault-rate", type=float, default=0.0,
                        help="inject bench faults at this per-capture "
                             "rate (0 disables)")
-    bench.add_argument("--out", default="BENCH_sim.json",
-                       help="write the machine-readable report here")
+    bench.add_argument("--out", default=None,
+                       help="write the machine-readable report here "
+                            "(default: BENCH_sim.json or "
+                            "BENCH_train.json, by --mode)")
     return parser
 
 
@@ -152,7 +176,8 @@ def _cmd_train(args) -> int:
                       capture_method=args.capture,
                       repetitions=args.repetitions,
                       strict=args.strict,
-                      workers=args.workers)
+                      workers=args.workers,
+                      fast=not args.legacy_fit)
     model = trainer.train()
     save_model(model, args.out)
     print(model.summary())
@@ -239,12 +264,86 @@ def _cmd_savat(args) -> int:
     return 0
 
 
+def _bench_train(args) -> int:
+    """``bench --mode train``: scalar vs fast ``Trainer.fit`` timing.
+
+    Runs the pre-optimization scalar reference (``fast=False``), a
+    cold-cache fast fit, and a warm-cache fast fit, checks that all
+    three produce the same model, and writes ``BENCH_train.json``.
+    """
+    from .core import configure_trace_cache, get_trace_cache
+    from .core.persistence import model_to_dict
+
+    out = args.out or "BENCH_train.json"
+    device_kwargs = {"board": BOARDS[args.board]}
+    if args.fault_rate > 0:
+        device_kwargs["fault_plan"] = FaultPlan.preset(args.fault_rate,
+                                                       seed=args.seed)
+    print(f"bench: Trainer.fit at {args.probes} probes/class on "
+          f"{BOARDS[args.board].name}")
+
+    profiler = enable_profiling()
+
+    def fit(fast: bool, clear_cache: bool):
+        if clear_cache:
+            configure_trace_cache(clear=True)
+        device = HardwareDevice(**device_kwargs)
+        trainer = Trainer(device=device,
+                          activity_probes_per_class=args.probes,
+                          seed=args.seed, fast=fast)
+        start = time.perf_counter()
+        model = trainer.train()
+        return model_to_dict(model), time.perf_counter() - start
+
+    legacy, legacy_seconds = fit(fast=False, clear_cache=True)
+    print(f"  legacy scalar fit:   {legacy_seconds:7.2f} s")
+    cold, cold_seconds = fit(fast=True, clear_cache=True)
+    print(f"  fast fit (cold):     {cold_seconds:7.2f} s")
+    warm, warm_seconds = fit(fast=True, clear_cache=False)
+    print(f"  fast fit (warm):     {warm_seconds:7.2f} s")
+
+    identical = legacy == cold == warm
+    warm_speedup = legacy_seconds / warm_seconds \
+        if warm_seconds > 0 else float("inf")
+    cold_speedup = legacy_seconds / cold_seconds \
+        if cold_seconds > 0 else float("inf")
+    stats = get_trace_cache().stats
+    print(f"  speedup: cold {cold_speedup:5.2f}x, warm "
+          f"{warm_speedup:5.2f}x   models identical: {identical}")
+    print(f"  trace cache: {stats.hits} hits / {stats.misses} misses")
+
+    write_bench_json(out, metadata={
+        "benchmark": "trainer_fit",
+        "probes_per_class": args.probes,
+        "board": args.board,
+        "seed": args.seed,
+        "fault_rate": args.fault_rate,
+        "legacy_seconds": legacy_seconds,
+        "fast_cold_seconds": cold_seconds,
+        "fast_warm_seconds": warm_seconds,
+        "speedup_cold": cold_speedup,
+        "speedup_warm": warm_speedup,
+        "models_identical": identical,
+        "trace_cache_hits": stats.hits,
+        "trace_cache_misses": stats.misses,
+    }, profiler=profiler)
+    print(f"report written to {out}")
+    if not identical:
+        print("error: fast-path model differs from the scalar "
+              "reference", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_bench(args) -> int:
     import numpy as np
 
     from .parallel import resolve_workers
     from .workloads.generators import RandomProgramBuilder
 
+    if args.mode == "train":
+        return _bench_train(args)
+    args.out = args.out or "BENCH_sim.json"
     fault_plan = None
     if args.fault_rate > 0:
         fault_plan = FaultPlan.preset(args.fault_rate, seed=args.seed)
@@ -320,6 +419,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "balance": _cmd_balance, "bench": _cmd_bench}
     if args.profile:
         enable_profiling()
+    if args.no_trace_cache or args.trace_cache_dir is not None:
+        from .core import configure_trace_cache
+        configure_trace_cache(enabled=not args.no_trace_cache,
+                              directory=args.trace_cache_dir)
     try:
         return handlers[args.command](args)
     except ReproError as exc:

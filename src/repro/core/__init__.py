@@ -6,7 +6,7 @@ from .activity import (average_alpha, stage_class_labels,
 from .batch import BatchSimulator, CampaignProbe, measurement_campaign
 from .clustering import (ClusterResult, agglomerative_cluster,
                          cluster_instruction_signatures,
-                         signature_distance)
+                         signature_distance, signature_distance_matrix)
 from .config import EMSimConfig, FULL_MODEL, ModelSwitches
 from .factors import (ActivityFactorModel, AverageActivity,
                       RegressionActivity, UnitActivity)
@@ -18,10 +18,12 @@ from .microbench import (CLASS_MEMBERS, REPRESENTATIVES, all_combinations,
 from .model import EMSimModel
 from .persistence import (load_model, model_from_dict, model_to_dict,
                           save_model)
-from .regression import (LinearModel, RobustFitInfo, fit_full, fit_linear,
-                         fit_robust, fit_trimmed, irls_solve,
+from .regression import (GramCache, LinearModel, RobustFitInfo, fit_full,
+                         fit_linear, fit_robust, fit_trimmed, irls_solve,
                          mad_outlier_mask, stepwise_select)
 from .simulator import EMSim, SimulatedSignal
+from .trace_cache import (CacheStats, TraceCache, configure_trace_cache,
+                          get_trace_cache, trace_cache_disabled, trace_key)
 from .training import (Trainer, TrainingReport, fit_beta, fit_kernel,
                        train_emsim)
 
@@ -31,18 +33,21 @@ __all__ = [
     "AverageActivity",
     "BatchSimulator",
     "CLASS_MEMBERS",
+    "CacheStats",
     "CampaignProbe",
     "ClusterResult",
     "EMSim",
     "EMSimConfig",
     "EMSimModel",
     "FULL_MODEL",
+    "GramCache",
     "LinearModel",
     "ModelSwitches",
     "REPRESENTATIVES",
     "RegressionActivity",
     "RobustFitInfo",
     "SimulatedSignal",
+    "TraceCache",
     "Trainer",
     "TrainingReport",
     "UnitActivity",
@@ -52,6 +57,7 @@ __all__ = [
     "average_alpha",
     "cluster_instruction_signatures",
     "combination_group",
+    "configure_trace_cache",
     "coverage_groups",
     "double_load_probe",
     "fit_beta",
@@ -60,6 +66,7 @@ __all__ = [
     "fit_linear",
     "fit_robust",
     "fit_trimmed",
+    "get_trace_cache",
     "irls_solve",
     "isolation_probe",
     "load_model",
@@ -74,9 +81,12 @@ __all__ = [
     "repeat_probe",
     "warmed_branch_probe",
     "signature_distance",
+    "signature_distance_matrix",
     "stage_class_labels",
     "stage_flip_counts",
     "stage_transition_matrices",
     "stepwise_select",
+    "trace_cache_disabled",
+    "trace_key",
     "train_emsim",
 ]

@@ -20,6 +20,15 @@ and the cached multi-RHS deconvolver).
 Numerical contract: batched campaign results agree with the sequential
 path (``workers=1``) to well inside 1e-9 max abs difference; the
 re-simulation fan-out is bit-identical.
+
+Both fan-outs sit on top of the content-addressed trace cache
+(:mod:`repro.core.trace_cache`): ``EMSim.run_trace`` and the device's
+``run_trace``/``capture_reference`` serve repeated (program, config)
+pairs from cache, so campaigns that replay a corpus — or repeat
+programs within one — skip the pipeline re-execution.  Worker processes
+each hold their own process-local cache (the parent's entries are
+inherited by fork at spawn time); determinism is unaffected because
+cached traces are bit-identical to fresh runs.
 """
 
 from __future__ import annotations

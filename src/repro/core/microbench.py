@@ -9,12 +9,21 @@
   5-tuples of representative-cluster instructions, randomly grouped into
   batches of 1024 combinations (5120 instructions), 17 groups in total,
   plus another set drawn from the full ISA.
+
+The fixed-shape probe builders are memoized: probes are deterministic
+functions of their (hashable) arguments, every trainer fit re-requests
+the same ones, and returning the identical :class:`Program` object each
+time also makes downstream content-addressed trace-cache lookups
+(:mod:`repro.core.trace_cache`) hit without re-encoding anything.
+Probe programs are treated as immutable everywhere — callers must not
+mutate ``instructions``/``data`` on a cached instance.
 """
 
 from __future__ import annotations
 
 import itertools
 import random
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..isa.instructions import Instruction, NOP
@@ -95,6 +104,7 @@ def _load_setup(rs1_value: int, rs2_value: int) -> List[Instruction]:
             load_imm(PROBE_RS2, rs2_value) + [NOP] * 2)
 
 
+@lru_cache(maxsize=8192)
 def isolation_probe(name: str, rs1_value: int = 0, rs2_value: int = 0,
                     padding: int = PROBE_PADDING,
                     mem_offset: int = 0) -> Program:
@@ -111,6 +121,7 @@ def isolation_probe(name: str, rs1_value: int = 0, rs2_value: int = 0,
     return wrap_program(code, name=f"probe_{name}", seed_registers=True)
 
 
+@lru_cache(maxsize=1024)
 def double_load_probe(name: str = "lw", offset: int = 0,
                       padding: int = PROBE_PADDING) -> Program:
     """Two identical loads, NOP-separated: first misses, second hits.
@@ -124,6 +135,7 @@ def double_load_probe(name: str = "lw", offset: int = 0,
     return wrap_program(code, name=f"double_{name}", seed_registers=True)
 
 
+@lru_cache(maxsize=8192)
 def repeat_probe(name: str, rs1_value: int = 0, rs2_value: int = 0,
                  count: int = 3, padding: int = PROBE_PADDING,
                  mem_offset: int = 0) -> Program:
@@ -141,6 +153,7 @@ def repeat_probe(name: str, rs1_value: int = 0, rs2_value: int = 0,
                         seed_registers=True)
 
 
+@lru_cache(maxsize=1024)
 def warmed_branch_probe(name: str, rs1_value: int = 0,
                         rs2_value: int = 0, gap: int = PROBE_PADDING,
                         padding: int = PROBE_PADDING) -> Program:
@@ -160,6 +173,7 @@ def warmed_branch_probe(name: str, rs1_value: int = 0,
                         seed_registers=True)
 
 
+@lru_cache(maxsize=4096)
 def pair_probe(first: str, second: str, rs1_value: int = 0,
                rs2_value: int = 0,
                padding: int = PROBE_PADDING) -> Program:

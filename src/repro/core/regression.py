@@ -5,6 +5,18 @@ EMSim fits activity factors with a linear model over transition bits
 regression based on F-tests — "we managed to reduce the size of T by more
 than 65%".  This module provides the ridge-regularized least-squares fit
 and the forward step-wise selector.
+
+The selector has two engines sharing one search policy:
+
+* ``method="naive"`` — the reference implementation: every candidate
+  column at every step is scored with a full dense solve over the data
+  (O(steps x columns) passes over the design matrix);
+* ``method="gram"`` (the default) — the fast path: the augmented Gram
+  matrix ``[1|X]^T [1|X]`` and moment vector ``[1|X]^T y`` are built
+  once (:class:`GramCache`) and every candidate's residual sum of
+  squares comes from a rank-1 Schur-complement update of the current
+  subset's inverse — the same selections, with final coefficients
+  refitted through the exact reference solver.
 """
 
 from __future__ import annotations
@@ -55,6 +67,7 @@ def fit_linear(design: np.ndarray, target: np.ndarray,
 
 def _rss(design: np.ndarray, target: np.ndarray,
          columns: List[int], ridge: float) -> float:
+    target = np.asarray(target, dtype=float)
     if columns:
         intercept, coef = fit_linear(design[:, columns], target, ridge)
         predictions = intercept + design[:, columns] @ coef
@@ -64,34 +77,87 @@ def _rss(design: np.ndarray, target: np.ndarray,
     return float(residuals @ residuals)
 
 
-def stepwise_select(design: np.ndarray, target: np.ndarray,
-                    f_threshold: float = 4.0,
-                    max_features: Optional[int] = None,
-                    ridge: float = 1e-8,
-                    forced_features: Optional[List[int]] = None
-                    ) -> LinearModel:
-    """Forward step-wise regression with a partial-F entry criterion.
+class GramCache:
+    """Precomputed normal equations for one ``(design, target)`` pair.
 
-    Starting from the intercept-only model, repeatedly adds the candidate
-    column whose inclusion yields the largest partial F-statistic
-
-        F = (RSS_old - RSS_new) / (RSS_new / (n - p - 1))
-
-    and stops when no candidate reaches ``f_threshold`` (or
-    ``max_features`` is hit).  Columns with no variance are never
-    considered — exactly the pruning of non-contributing transition bits
-    the paper describes.
+    Builds the augmented Gram matrix ``G = [1|X]^T [1|X]``, the moment
+    vector ``b = [1|X]^T y`` and ``y^T y`` exactly once; ridge solutions
+    and residual sums of squares for arbitrary column subsets then come
+    from small dense solves on submatrices of ``G`` instead of fresh
+    O(n p^2) passes over the data.  Shared by the step-wise selector's
+    fast path, :func:`fit_full`, and the trimmed robust refit.
     """
-    design = np.asarray(design, dtype=float)
-    target = np.asarray(target, dtype=float)
-    n_samples, n_columns = design.shape
-    variances = design.var(axis=0)
-    selected: List[int] = [col for col in (forced_features or [])
-                           if variances[col] > 0]
-    candidates = [col for col in range(n_columns)
-                  if variances[col] > 0 and col not in selected]
-    rss_current = _rss(design, target, selected, ridge)
 
+    def __init__(self, design: np.ndarray, target: np.ndarray):
+        self.design = np.asarray(design, dtype=float)
+        self.target = np.asarray(target, dtype=float)
+        self.n_samples = self.design.shape[0]
+        self.augmented = np.hstack(
+            [np.ones((self.n_samples, 1)), self.design])
+        self.gram = self.augmented.T @ self.augmented
+        self.moment = self.augmented.T @ self.target
+        self.target_ss = float(self.target @ self.target)
+
+    def indices(self, columns) -> np.ndarray:
+        """Augmented-matrix indices (intercept first) for design columns."""
+        columns = np.asarray(list(columns), dtype=int)
+        return np.concatenate(([0], columns + 1))
+
+    def solve(self, columns, ridge: float) -> Tuple[float, np.ndarray]:
+        """Ridge solution ``(intercept, coef)`` over ``columns``.
+
+        Solves the same normal equations :func:`fit_linear` would build
+        for the column subset, without touching the data again.
+        """
+        idx = self.indices(columns)
+        sub = self.gram[np.ix_(idx, idx)] + ridge * np.eye(len(idx))
+        solution = np.linalg.solve(sub, self.moment[idx])
+        return float(solution[0]), solution[1:]
+
+    def solve_rows(self, keep: np.ndarray, ridge: float
+                   ) -> Tuple[float, np.ndarray]:
+        """Ridge solution over all columns using only rows where ``keep``.
+
+        The full Gram matrix is *downdated* by the dropped rows' outer
+        products — O(dropped x p^2) instead of O(n p^2) per refit, which
+        is what makes the trimmed-LS rounds cheap when few rows drop.
+        """
+        dropped = self.augmented[~keep]
+        gram = self.gram - dropped.T @ dropped
+        moment = self.moment - dropped.T @ self.target[~keep]
+        gram = gram + ridge * np.eye(gram.shape[0])
+        solution = np.linalg.solve(gram, moment)
+        return float(solution[0]), solution[1:]
+
+    def _state(self, columns, ridge: float):
+        """(aug indices, inverse, beta, ridge-fit RSS) for a subset."""
+        idx = self.indices(columns)
+        sub = self.gram[np.ix_(idx, idx)] + ridge * np.eye(len(idx))
+        inverse = np.linalg.inv(sub)
+        beta = inverse @ self.moment[idx]
+        rss = (self.target_ss - float(self.moment[idx] @ beta) -
+               ridge * float(beta @ beta))
+        return idx, inverse, beta, max(rss, 0.0)
+
+
+def _dedupe_preserving(columns) -> List[int]:
+    """Drop duplicate column indices, keeping first-occurrence order."""
+    seen = set()
+    unique = []
+    for column in columns:
+        if column not in seen:
+            seen.add(column)
+            unique.append(column)
+    return unique
+
+
+def _stepwise_naive(design: np.ndarray, target: np.ndarray,
+                    f_threshold: float, max_features: Optional[int],
+                    ridge: float, selected: List[int],
+                    candidates: List[int]) -> List[int]:
+    """Reference search loop: full dense solve per candidate per step."""
+    n_samples = design.shape[0]
+    rss_current = _rss(design, target, selected, ridge)
     while candidates:
         if max_features is not None and len(selected) >= max_features:
             break
@@ -113,6 +179,146 @@ def stepwise_select(design: np.ndarray, target: np.ndarray,
         selected.append(best_column)
         candidates.remove(best_column)
         rss_current = best_rss
+    return selected
+
+
+def _stepwise_gram(cache: GramCache, f_threshold: float,
+                   max_features: Optional[int], ridge: float,
+                   selected: List[int],
+                   candidates: List[int]) -> List[int]:
+    """Fast search loop: every candidate scored by a rank-1 Schur update.
+
+    With the current subset's inverse ``C = (G_S + ridge I)^-1`` in hand,
+    adding candidate column c drops the penalized objective by
+    ``gamma^2 d`` where ``d = (G_cc + ridge) - g^T C g`` is the Schur
+    complement and ``gamma = (b_c - beta^T g) / d``; one matrix product
+    scores *all* candidates of a step at once.
+
+    The sweep scores are used for *shortlisting* only.  Every candidate
+    whose sweep drop is within a safety margin of the best is rescored
+    with the exact reference :func:`_rss` and the winner chosen by the
+    naive engine's strict-``<`` scan in candidate order, so exact ties
+    (duplicate design columns are common in transition matrices) break
+    toward the same column the naive engine keeps.  The decision
+    quantities — the accepted candidate's residual sum of squares and
+    the partial-F statistic — come from those exact rescores, which
+    also sidesteps the sweep's weakness: the ``y^T y - b . beta``
+    identity cancels catastrophically once the fit is nearly exact.
+    The shortlist is a handful of columns in practice, so each step
+    costs a few dense solves instead of one per candidate.
+    """
+    design, target = cache.design, cache.target
+    n_samples = cache.n_samples
+    gram, moment = cache.gram, cache.moment
+    _, inverse, beta, _ = cache._state(selected, ridge)
+    idx = list(cache.indices(selected))
+    rss_current = _rss(design, target, selected, ridge)
+    noise_floor = 1e-9 * max(cache.target_ss, 1e-30)
+    while candidates:
+        if max_features is not None and len(selected) >= max_features:
+            break
+        if rss_current <= noise_floor:
+            # the residual sits at the roundoff floor of y^T y, so
+            # sweep scores are pure noise; scan every candidate exactly
+            # (this only happens on the last step or two of a saturated
+            # fit, so the per-candidate saving elsewhere survives)
+            shortlist = range(len(candidates))
+        else:
+            cand = np.asarray(candidates, dtype=int) + 1
+            cross = gram[np.ix_(idx, cand)]
+            projected = inverse @ cross
+            schur = (gram[cand, cand] + ridge -
+                     np.einsum("km,km->m", cross, projected))
+            positive = schur > 0
+            gamma = ((moment[cand] - beta @ cross) /
+                     np.where(positive, schur, 1.0))
+            # objective drop per candidate, up to a candidate-
+            # independent constant (the current RSS) and the
+            # ridge-norm correction
+            drop = (gamma ** 2 * schur - ridge *
+                    (2.0 * gamma * (beta @ projected) - gamma ** 2 *
+                     (np.einsum("km,km->m", projected, projected) + 1.0)))
+            drop = np.where(positive, drop, -np.inf)
+            top = float(np.max(drop))
+            if not np.isfinite(top):
+                break
+            # margin covers the sweep's roundoff so the true argmin
+            # (and every exact tie) lands in the shortlist;
+            # flatnonzero keeps candidate order for the naive
+            # engine's first-tie-wins scan
+            margin = 1e-2 * abs(top) + 1e-10 * cache.target_ss
+            shortlist = np.flatnonzero(drop >= top - margin)
+        best = None
+        best_rss = rss_current
+        for short in shortlist:
+            rss_new = _rss(design, target,
+                           selected + [candidates[short]], ridge)
+            if rss_new < best_rss:
+                best_rss = rss_new
+                best = int(short)
+        if best is None:
+            break
+        dof = n_samples - len(selected) - 2
+        if dof <= 0:
+            break
+        denom = best_rss / dof
+        f_stat = (rss_current - best_rss) / denom if denom > 0 else \
+            float("inf")
+        if f_stat < f_threshold:
+            break
+        selected.append(candidates.pop(best))
+        idx, inverse, beta, _ = cache._state(selected, ridge)
+        idx = list(idx)
+        rss_current = best_rss
+    return selected
+
+
+def stepwise_select(design: np.ndarray, target: np.ndarray,
+                    f_threshold: float = 4.0,
+                    max_features: Optional[int] = None,
+                    ridge: float = 1e-8,
+                    forced_features: Optional[List[int]] = None,
+                    method: str = "gram") -> LinearModel:
+    """Forward step-wise regression with a partial-F entry criterion.
+
+    Starting from the intercept-only model, repeatedly adds the candidate
+    column whose inclusion yields the largest partial F-statistic
+
+        F = (RSS_old - RSS_new) / (RSS_new / (n - p - 1))
+
+    and stops when no candidate reaches ``f_threshold`` (or
+    ``max_features`` is hit).  Columns with no variance are never
+    considered — exactly the pruning of non-contributing transition bits
+    the paper describes.  Duplicate ``forced_features`` are dropped
+    (first occurrence wins) so repeated indices cannot double-enter the
+    design and skew the F-test degrees of freedom.
+
+    ``method`` selects the search engine: ``"gram"`` (default) scores
+    candidates through the precomputed Gram matrix, ``"naive"`` is the
+    reference full-solve-per-candidate loop.  Both follow the identical
+    greedy policy; the final model is always refitted with
+    :func:`fit_linear` on the selected columns, so coefficients agree
+    with the reference path whenever the selections do.
+    """
+    if method not in ("gram", "naive"):
+        raise ValueError(f"unknown step-wise method: {method!r}")
+    design = np.asarray(design, dtype=float)
+    target = np.asarray(target, dtype=float)
+    n_samples, n_columns = design.shape
+    variances = design.var(axis=0)
+    selected: List[int] = [
+        col for col in _dedupe_preserving(forced_features or [])
+        if variances[col] > 0]
+    candidates = [col for col in range(n_columns)
+                  if variances[col] > 0 and col not in selected]
+    if method == "gram":
+        selected = _stepwise_gram(GramCache(design, target), f_threshold,
+                                  max_features, ridge, selected,
+                                  candidates)
+    else:
+        selected = _stepwise_naive(design, target, f_threshold,
+                                   max_features, ridge, selected,
+                                   candidates)
 
     if selected:
         intercept, coef = fit_linear(design[:, selected], target, ridge)
@@ -134,11 +340,18 @@ def stepwise_select(design: np.ndarray, target: np.ndarray,
 
 
 def fit_full(design: np.ndarray, target: np.ndarray,
-             ridge: float = 1e-6) -> LinearModel:
-    """Fit using every column (no selection); for ablation comparisons."""
+             ridge: float = 1e-6,
+             gram: Optional[GramCache] = None) -> LinearModel:
+    """Fit using every column (no selection); for ablation comparisons.
+
+    ``gram`` optionally reuses an existing :class:`GramCache` built for
+    the same ``(design, target)`` pair so the normal equations are not
+    recomputed; the solution is identical to the direct solve.
+    """
     design = np.asarray(design, dtype=float)
     target = np.asarray(target, dtype=float)
-    intercept, coef = fit_linear(design, target, ridge)
+    cache = gram if gram is not None else GramCache(design, target)
+    intercept, coef = cache.solve(range(design.shape[1]), ridge)
     predictions = intercept + design @ coef
     residuals = target - predictions
     total = target - target.mean()
@@ -223,14 +436,18 @@ def huber_weights(residuals: np.ndarray, scale: float,
 def irls_solve(matrix: np.ndarray, target: np.ndarray,
                ridge: float = 1e-6, c: float = 1.345,
                max_iter: int = 50, tol: float = 1e-8,
-               base_weights: Optional[np.ndarray] = None
+               base_weights: Optional[np.ndarray] = None,
+               gram: Optional[np.ndarray] = None
                ) -> Tuple[np.ndarray, RobustFitInfo]:
     """Huber-IRLS solution of ``matrix @ x ~ target``.
 
     ``matrix`` is used as given (include an intercept column if one is
     wanted); ``base_weights`` multiply the robustness weights, so fixed
     observation weighting (e.g. the MISO pure-floor up-weighting)
-    composes with outlier down-weighting.  Raises
+    composes with outlier down-weighting.  ``gram`` optionally supplies
+    a precomputed ``matrix.T @ matrix``, reused for the unweighted
+    initial solve so callers that already built the normal equations
+    (e.g. the joint alpha fit) skip one O(n p^2) product.  Raises
     :class:`ConvergenceError` if the iteration produces non-finite
     values; merely hitting ``max_iter`` is reported via
     ``info.converged`` instead, since the estimate is still usable.
@@ -241,12 +458,15 @@ def irls_solve(matrix: np.ndarray, target: np.ndarray,
     base = np.ones(n_rows) if base_weights is None else \
         np.asarray(base_weights, dtype=float)
 
-    def solve(weights: np.ndarray) -> np.ndarray:
+    def solve(weights: np.ndarray,
+              gram_matrix: Optional[np.ndarray] = None) -> np.ndarray:
         scaled = matrix * weights[:, None]
-        gram = scaled.T @ matrix + ridge * np.eye(n_cols)
-        return np.linalg.solve(gram, scaled.T @ target)
+        if gram_matrix is None:
+            gram_matrix = scaled.T @ matrix
+        normal = gram_matrix + ridge * np.eye(n_cols)
+        return np.linalg.solve(normal, scaled.T @ target)
 
-    solution = solve(base)
+    solution = solve(base, gram if base_weights is None else None)
     info = RobustFitInfo(method="huber", total_observations=n_rows)
     robust = np.ones(n_rows)
     for iteration in range(1, max_iter + 1):
@@ -302,14 +522,17 @@ def fit_trimmed(design: np.ndarray, target: np.ndarray,
     Each round refits on the (1 - ``trim``) fraction of observations
     with the smallest absolute residuals — a blunter alternative to
     IRLS, useful when corruption is heavy-tailed rather than smooth.
+    The per-round refits reuse one :class:`GramCache`, downdating the
+    full normal equations by the dropped rows instead of re-scanning
+    the kept data each round.
     """
     if not 0.0 <= trim < 0.5:
         raise ValueError(f"trim fraction must be in [0, 0.5): {trim!r}")
-    design = np.asarray(design, dtype=float)
-    target = np.asarray(target, dtype=float)
-    n_rows = design.shape[0]
+    cache = GramCache(design, target)
+    design, target = cache.design, cache.target
+    n_rows = cache.n_samples
     keep = np.ones(n_rows, dtype=bool)
-    intercept, coef = fit_linear(design, target, ridge)
+    intercept, coef = cache.solve(range(design.shape[1]), ridge)
     kept_rows = n_rows
     info = RobustFitInfo(method="trimmed", total_observations=n_rows)
     for round_index in range(1, rounds + 1):
@@ -318,7 +541,7 @@ def fit_trimmed(design: np.ndarray, target: np.ndarray,
                         int(np.ceil((1.0 - trim) * n_rows)))
         threshold = np.partition(residuals, kept_rows - 1)[kept_rows - 1]
         keep = residuals <= threshold
-        intercept, coef = fit_linear(design[keep], target[keep], ridge)
+        intercept, coef = cache.solve_rows(keep, ridge)
         info.iterations = round_index
     info.outliers_rejected = int(n_rows - keep.sum())
     info.weights = keep.astype(float)

@@ -70,22 +70,41 @@ class EMSim:
 
     def run_trace(self, program: Program,
                   max_cycles: Optional[int] = None) -> ActivityTrace:
-        """Run the program on EMSim's internal microarchitecture model."""
-        with get_profiler().phase("sim.trace"):
-            if self.core_kind == "out-of-order":
-                from ..uarch.ooo import OutOfOrderCore
-                if not self.switches.model_mispredicts:
-                    raise ValueError("the no-mispredict ablation is only "
-                                     "implemented for the in-order core")
-                core = OutOfOrderCore(program,
-                                      config=self._effective_core_config())
-                return core.run(max_cycles=max_cycles)
-            oracle = None
+        """Run the program on EMSim's internal microarchitecture model.
+
+        Traces are served from the content-addressed trace cache: the
+        key covers the *effective* (ablation-adjusted) core config plus
+        the mispredict-ablation flag, so each switch combination caches
+        independently and ablation sweeps never cross-contaminate.
+        """
+        from .trace_cache import get_trace_cache
+        config = self._effective_core_config()
+        salt = f"sim:mispredicts={self.switches.model_mispredicts}"
+
+        def runner() -> ActivityTrace:
+            with get_profiler().phase("sim.trace"):
+                return self._run_trace_uncached(program, config,
+                                                max_cycles)
+
+        return get_trace_cache().get_or_run(
+            program, config, runner, core_kind=self.core_kind,
+            max_cycles=max_cycles, salt=salt, category="sim")
+
+    def _run_trace_uncached(self, program: Program, config: CoreConfig,
+                            max_cycles: Optional[int]) -> ActivityTrace:
+        """The actual core execution behind :meth:`run_trace`."""
+        if self.core_kind == "out-of-order":
+            from ..uarch.ooo import OutOfOrderCore
             if not self.switches.model_mispredicts:
-                oracle = collect_oracle(program)
-            core = Pipeline(program, config=self._effective_core_config(),
-                            oracle=oracle)
+                raise ValueError("the no-mispredict ablation is only "
+                                 "implemented for the in-order core")
+            core = OutOfOrderCore(program, config=config)
             return core.run(max_cycles=max_cycles)
+        oracle = None
+        if not self.switches.model_mispredicts:
+            oracle = collect_oracle(program)
+        core = Pipeline(program, config=config, oracle=oracle)
+        return core.run(max_cycles=max_cycles)
 
     def simulate_trace(self, trace: ActivityTrace) -> SimulatedSignal:
         """Predict the signal for an existing activity trace."""

@@ -1,0 +1,282 @@
+"""Content-addressed cache for pipeline simulation artifacts.
+
+The trainers, microbench probes, and campaign drivers repeatedly
+re-simulate *identical* ``(program, CoreConfig)`` pairs: every probe is
+captured several times per fit, calibration sweeps rerun the same probe
+corpus fit after fit, and campaigns replay programs across repetitions.
+The pipeline is pure — the same program under the same configuration
+always yields the same :class:`~repro.uarch.trace.ActivityTrace` — so
+those re-simulations are wasted work.
+
+This module keys each artifact by a SHA-256 digest of everything the
+result depends on: the full ``repr`` of the (frozen, deterministic)
+core configuration, the core kind, the cycle limit, the program's entry
+point, encoded machine code, and initialized data words — plus a caller
+salt for derived values (e.g. ideal-capture measurements, which also
+depend on the emitter).  The program *name* is deliberately excluded:
+two identically-encoded programs share an entry.  Invalidation is
+therefore automatic — touch any input and the key changes.
+
+Storage is a bounded in-memory LRU with an optional on-disk pickle
+layer (one file per digest, written atomically), and every lookup feeds
+hit/miss counters into :mod:`repro.profiling` so ``--profile`` shows
+cache effectiveness per category.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Any, Callable, Dict, Iterator, Optional
+
+import numpy as np
+
+from ..profiling import get_profiler
+from ..uarch.config import CoreConfig
+
+
+@lru_cache(maxsize=128)
+def _config_bytes(config: CoreConfig) -> bytes:
+    """Memoized ``repr`` bytes of a (frozen, hashable) core config.
+
+    Building the dataclass repr walks every field; the same few config
+    objects are hashed thousands of times per fit, so this is one of
+    the two hot spots of :func:`trace_key`.
+    """
+    return repr(config).encode()
+
+
+def trace_key(program, config: CoreConfig, core_kind: str = "in-order",
+              max_cycles: Optional[int] = None, salt: str = "") -> str:
+    """Content digest for ``program`` simulated under ``config``.
+
+    Two calls return the same key exactly when the simulation inputs are
+    byte-for-byte the same: machine code, initialized data, entry point,
+    core configuration (``CoreConfig`` is a frozen dataclass whose
+    ``repr`` is deterministic and exhaustive), core kind, and cycle
+    limit.  ``salt`` namespaces derived artifacts that add inputs of
+    their own (e.g. the emitter digest for ideal captures).  The
+    program sections are serialized through bulk numpy casts — the
+    byte stream (4-byte little-endian code words, then interleaved
+    8-byte-address/1-byte-value pairs in address order) is exactly
+    what a per-word loop would produce, at a fraction of the cost —
+    and the resulting section digest is memoized on the program
+    object, since probe programs are themselves memoized and keyed
+    over and over (programs must not be mutated after first use,
+    the same contract :mod:`repro.core.microbench` states).
+    """
+    hasher = hashlib.sha256()
+    hasher.update(_config_bytes(config))
+    hasher.update(core_kind.encode())
+    hasher.update(repr(max_cycles).encode())
+    hasher.update(salt.encode())
+    content = getattr(program, "_trace_digest", None)
+    if content is None:
+        sections = hashlib.sha256()
+        sections.update(repr(program.entry).encode())
+        machine_code = program.machine_code
+        code = np.fromiter(machine_code, dtype=np.int64,
+                           count=len(machine_code))
+        sections.update((code & 0xFFFFFFFF).astype("<u4").tobytes())
+        addresses = sorted(program.data)
+        data = np.empty(len(addresses),
+                        dtype=[("address", "<u8"), ("value", "u1")])
+        data["address"] = addresses
+        values = np.fromiter(
+            (program.data[address] for address in addresses),
+            dtype=np.int64, count=len(addresses))
+        data["value"] = values & 0xFF
+        sections.update(data.tobytes())
+        content = sections.digest()
+        try:
+            program._trace_digest = content
+        except AttributeError:
+            pass
+    hasher.update(content)
+    return hasher.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one :class:`TraceCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    disk_hits: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served (hits + misses)."""
+        return self.hits + self.misses
+
+    def as_dict(self) -> Dict[str, int]:
+        """Counters as a plain dict (for reports and tests)."""
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "disk_hits": self.disk_hits}
+
+
+@dataclass
+class TraceCache:
+    """Bounded LRU keyed by content digest, with an optional disk layer.
+
+    ``capacity`` bounds the in-memory layer (least recently used entry
+    evicted first).  When ``directory`` is set, every stored value is
+    also pickled to ``<directory>/<digest>.pkl`` with an atomic
+    rename, and in-memory misses fall through to disk; a corrupt or
+    unreadable file is treated as a miss.  ``enabled=False`` turns every
+    lookup into a miss without touching storage, which is how the
+    ``--no-trace-cache`` flag and :func:`trace_cache_disabled` work.
+    """
+
+    capacity: int = 256
+    directory: Optional[str] = None
+    enabled: bool = True
+    stats: CacheStats = field(default_factory=CacheStats)
+    _entries: "OrderedDict[str, Any]" = field(default_factory=OrderedDict)
+
+    def lookup(self, key: str) -> Optional[Any]:
+        """Return the cached value for ``key`` or ``None`` on a miss."""
+        if not self.enabled:
+            return None
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        if self.directory is not None:
+            value = self._read_disk(key)
+            if value is not None:
+                self.stats.disk_hits += 1
+                self._remember(key, value)
+                return value
+        return None
+
+    def store(self, key: str, value: Any) -> None:
+        """Insert ``value`` under ``key`` (memory, then disk layer)."""
+        if not self.enabled:
+            return
+        self._remember(key, value)
+        if self.directory is not None:
+            self._write_disk(key, value)
+
+    def get_or_run(self, program, config: CoreConfig,
+                   runner: Callable[[], Any], *,
+                   core_kind: str = "in-order",
+                   max_cycles: Optional[int] = None, salt: str = "",
+                   category: str = "trace") -> Any:
+        """Cached value for the keyed inputs, running ``runner`` on miss.
+
+        ``category`` labels the profiler counters
+        (``trace_cache.<category>.hits`` / ``.misses``) so distinct
+        artifact kinds — raw traces, simulator traces, ideal captures —
+        report separately under ``--profile``.
+        """
+        profiler = get_profiler()
+        key = trace_key(program, config, core_kind=core_kind,
+                        max_cycles=max_cycles, salt=salt)
+        value = self.lookup(key)
+        if value is not None:
+            self.stats.hits += 1
+            profiler.count(f"trace_cache.{category}.hits")
+            return value
+        self.stats.misses += 1
+        profiler.count(f"trace_cache.{category}.misses")
+        value = runner()
+        self.store(key, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop every in-memory entry (the disk layer is untouched)."""
+        self._entries.clear()
+
+    def _remember(self, key: str, value: Any) -> None:
+        """LRU insert into the in-memory layer, evicting if over capacity."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def _path(self, key: str) -> str:
+        """On-disk path for ``key`` inside the cache directory."""
+        return os.path.join(self.directory, f"{key}.pkl")
+
+    def _read_disk(self, key: str) -> Optional[Any]:
+        """Load a pickled entry, returning ``None`` for any failure."""
+        try:
+            with open(self._path(key), "rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError):
+            return None
+
+    def _write_disk(self, key: str, value: Any) -> None:
+        """Atomically pickle an entry (tmp file + rename); best-effort."""
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            handle = tempfile.NamedTemporaryFile(
+                mode="wb", dir=self.directory, suffix=".tmp", delete=False)
+            try:
+                with handle:
+                    pickle.dump(value, handle,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(handle.name, self._path(key))
+            except BaseException:
+                with contextlib.suppress(OSError):
+                    os.unlink(handle.name)
+                raise
+        except OSError:
+            pass
+
+
+_GLOBAL_CACHE = TraceCache(
+    directory=os.environ.get("REPRO_TRACE_CACHE_DIR") or None,
+    enabled=os.environ.get("REPRO_TRACE_CACHE", "1") != "0")
+
+
+def get_trace_cache() -> TraceCache:
+    """The process-wide trace cache used by device/simulator/trainer."""
+    return _GLOBAL_CACHE
+
+
+def configure_trace_cache(capacity: Optional[int] = None,
+                          directory: Optional[str] = None,
+                          enabled: Optional[bool] = None,
+                          clear: bool = False) -> TraceCache:
+    """Adjust the global cache in place; ``None`` keeps a setting.
+
+    ``directory=""`` removes the disk layer, any other string enables
+    it.  ``clear=True`` additionally drops the in-memory entries (after
+    applying the new settings).  Returns the global cache.
+    """
+    cache = get_trace_cache()
+    if capacity is not None:
+        cache.capacity = capacity
+    if directory is not None:
+        cache.directory = directory or None
+    if enabled is not None:
+        cache.enabled = enabled
+    if clear:
+        cache.clear()
+    return cache
+
+
+@contextlib.contextmanager
+def trace_cache_disabled() -> Iterator[None]:
+    """Context manager that bypasses the global cache inside its body.
+
+    Used by benchmarks to time the uncached path, and by tests asserting
+    cached and uncached runs produce bit-identical artifacts.
+    """
+    cache = get_trace_cache()
+    previous = cache.enabled
+    cache.enabled = False
+    try:
+        yield
+    finally:
+        cache.enabled = previous

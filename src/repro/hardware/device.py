@@ -9,6 +9,7 @@ converges to) or through the full scope + modulo-operation pipeline.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, replace
 from typing import Optional
 
@@ -90,6 +91,15 @@ class HardwareDevice:
         self.emitter = HardwareEmitter(
             self.units, probe=probe, gain=instance.gain_jitter,
             clock_scale=instance.clock_scale)
+        # content digest of everything the *ideal* capture depends on
+        # beyond the program/config: the board's electrical personality
+        # (units are rebuilt deterministically from the profile), the
+        # instance spread, and the probe position.  Lets ideal captures
+        # be memoized in the global trace cache across device objects.
+        self._emitter_digest = hashlib.sha256(repr(
+            (self.instance.board, self.instance.instance_id,
+             self.probe, self.instance.gain_jitter,
+             self.instance.clock_scale)).encode()).hexdigest()
 
     @property
     def name(self) -> str:
@@ -111,6 +121,29 @@ class HardwareDevice:
         trace = core.run(max_cycles=max_cycles)
         return trace, core
 
+    def run_trace(self, program: Program,
+                  max_cycles: Optional[int] = None) -> ActivityTrace:
+        """Activity trace for ``program``, served from the trace cache.
+
+        The pipeline is deterministic for a given (program, config,
+        core kind) triple, so traces are memoized in the process-wide
+        content-addressed cache.  An injected ALU bug changes execution
+        without being part of the content key, so bugged devices always
+        simulate afresh.
+        """
+        if self.alu_bug is not None:
+            trace, _ = self.run(program, max_cycles=max_cycles)
+            return trace
+        from ..core.trace_cache import get_trace_cache
+
+        def runner() -> ActivityTrace:
+            trace, _ = self.run(program, max_cycles=max_cycles)
+            return trace
+
+        return get_trace_cache().get_or_run(
+            program, self.core_config, runner, core_kind=self.core_kind,
+            max_cycles=max_cycles, category="device")
+
     # ------------------------------------------------------------------
     # capture paths
     # ------------------------------------------------------------------
@@ -119,14 +152,29 @@ class HardwareDevice:
         """Noiseless emission on the uniform grid.
 
         Equivalent to the reference signal after unlimited modulo
-        averaging; the fast path for large experiments.
+        averaging; the fast path for large experiments.  The capture is
+        a pure function of (program, config, emitter, grid) — no RNG,
+        no fault path — so whole measurements are memoized in the trace
+        cache under an emitter-salted key; calibration loops that probe
+        the same programs fit after fit skip both the pipeline and the
+        emitter synthesis.
         """
-        trace, _ = self.run(program, max_cycles=max_cycles)
-        signal = self.emitter.signal_on_grid(trace, self.samples_per_cycle)
-        return Measurement(signal=signal, trace=trace,
-                           samples_per_cycle=self.samples_per_cycle,
-                           program_name=program.name,
-                           device_name=self.name, method="ideal")
+        def runner() -> Measurement:
+            trace = self.run_trace(program, max_cycles=max_cycles)
+            signal = self.emitter.signal_on_grid(trace,
+                                                 self.samples_per_cycle)
+            return Measurement(signal=signal, trace=trace,
+                               samples_per_cycle=self.samples_per_cycle,
+                               program_name=program.name,
+                               device_name=self.name, method="ideal")
+
+        if self.alu_bug is not None:
+            return runner()
+        from ..core.trace_cache import get_trace_cache
+        salt = f"ideal:{self._emitter_digest}:{self.samples_per_cycle}"
+        return get_trace_cache().get_or_run(
+            program, self.core_config, runner, core_kind=self.core_kind,
+            max_cycles=max_cycles, salt=salt, category="ideal")
 
     def capture_reference(self, program: Program,
                           repetitions: int = 100,
@@ -154,8 +202,11 @@ class HardwareDevice:
         loop's to well inside the batch engine's 1e-9 contract (the fast
         evaluator reorders floating-point operations, so agreement is
         ~1e-13 rather than bitwise).
+
+        Only the deterministic pipeline trace is cache-served here; the
+        scope path (noise, faults, screening) always runs live.
         """
-        trace, _ = self.run(program, max_cycles=max_cycles)
+        trace = self.run_trace(program, max_cycles=max_cycles)
         # batched mode runs everything (pilot sweep included) through the
         # emitter's lag-factored fast evaluator; sequential mode keeps the
         # exact legacy evaluator throughout

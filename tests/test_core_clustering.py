@@ -76,3 +76,75 @@ def test_instruction_signatures_alias():
     signatures = _waves()
     assert cluster_instruction_signatures(signatures, num_clusters=3) \
         .num_clusters == 3
+
+
+# ---------------------------------------------------------------------------
+# Lance-Williams engine vs the naive reference
+# ---------------------------------------------------------------------------
+def _random_signatures(seed, count=None, length=None):
+    rng = np.random.default_rng(seed)
+    count = count or int(rng.integers(4, 24))
+    length = length or int(rng.integers(16, 64))
+    signatures = {}
+    for index in range(count):
+        if index and seed % 3 == 0 and index % 5 == 0:
+            # exact duplicate of an earlier signature: tie territory
+            signatures[f"s{index:02d}"] = \
+                signatures[f"s{index - 1:02d}"].copy()
+        elif seed % 4 == 0 and index % 7 == 3:
+            signatures[f"s{index:02d}"] = np.zeros(length)  # silent
+        else:
+            signatures[f"s{index:02d}"] = rng.normal(size=length)
+    return signatures
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_lw_matches_naive_linkage(seed):
+    from repro.core.clustering import signature_distance_matrix
+
+    signatures = _random_signatures(seed)
+    clusters = max(1, len(signatures) // 3)
+    threshold = 0.9 if seed % 2 else None
+    naive = agglomerative_cluster(signatures, num_clusters=clusters,
+                                  distance_threshold=threshold,
+                                  method="naive")
+    fast = agglomerative_cluster(signatures, num_clusters=clusters,
+                                 distance_threshold=threshold,
+                                 method="lw")
+    assert naive.labels == fast.labels
+    assert np.allclose(naive.merge_heights, fast.merge_heights,
+                       atol=1e-12)
+
+
+def test_distance_matrix_matches_scalar_pairs():
+    from repro.core.clustering import signature_distance_matrix
+
+    signatures = _random_signatures(4, count=10, length=32)
+    signatures["silent"] = np.zeros(32)
+    names, matrix = signature_distance_matrix(signatures)
+    assert list(names) == list(signatures)
+    for i, a in enumerate(names):
+        for j, b in enumerate(names):
+            expected = signature_distance(signatures[a], signatures[b])
+            assert abs(matrix[i, j] - expected) < 1e-12
+    assert np.array_equal(matrix, matrix.T)
+    assert np.all(np.diag(matrix) == 0.0)
+
+
+def test_distance_matrix_mixed_lengths_falls_back():
+    from repro.core.clustering import signature_distance_matrix
+
+    rng = np.random.default_rng(0)
+    signatures = {"short": rng.normal(size=16),
+                  "long": rng.normal(size=48),
+                  "other": rng.normal(size=32)}
+    names, matrix = signature_distance_matrix(signatures)
+    for i, a in enumerate(names):
+        for j, b in enumerate(names):
+            expected = signature_distance(signatures[a], signatures[b])
+            assert abs(matrix[i, j] - expected) < 1e-12
+
+
+def test_clustering_rejects_unknown_method():
+    with pytest.raises(ValueError, match="method"):
+        agglomerative_cluster(_waves(), num_clusters=2, method="ward")

@@ -137,3 +137,36 @@ def test_config_switch_helpers():
     assert config.switches.model_stalls
     assert "no-stall" in ablated.switches.describe()
     assert config.switches.describe() == "full"
+
+
+def test_fast_and_legacy_fits_are_bit_identical():
+    """The Gram/sweep + Lance-Williams + trace-cache fast path must
+    reproduce the scalar reference model exactly (same features, same
+    Table-I clusters, same coefficients)."""
+    from repro.core.persistence import model_to_dict
+    from repro.core.trace_cache import configure_trace_cache
+
+    configure_trace_cache(clear=True)
+    legacy = model_to_dict(Trainer(device=HardwareDevice(),
+                                   activity_probes_per_class=2, seed=0,
+                                   fast=False).train())
+    configure_trace_cache(clear=True)
+    cold = model_to_dict(Trainer(device=HardwareDevice(),
+                                 activity_probes_per_class=2, seed=0,
+                                 fast=True).train())
+    warm = model_to_dict(Trainer(device=HardwareDevice(),
+                                 activity_probes_per_class=2, seed=0,
+                                 fast=True).train())
+    assert legacy == cold == warm
+
+
+def test_trainer_fit_is_an_alias_for_train():
+    from repro.core.persistence import model_to_dict
+
+    fitted = model_to_dict(Trainer(device=HardwareDevice(),
+                                   activity_probes_per_class=2,
+                                   seed=0).fit())
+    trained = model_to_dict(Trainer(device=HardwareDevice(),
+                                    activity_probes_per_class=2,
+                                    seed=0).train())
+    assert fitted == trained

@@ -101,3 +101,106 @@ def test_stepwise_never_beats_perfect_fit(seed):
     model = stepwise_select(design, target)
     assert model.r_squared <= 1.0 + 1e-9
     assert model.residual_variance >= 0.0
+
+
+# ---------------------------------------------------------------------------
+# gram engine vs the naive reference
+# ---------------------------------------------------------------------------
+def _random_problem(seed):
+    """A randomized step-wise problem in the trainer's design style."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(20, 60))
+    p = int(rng.integers(5, 40))
+    if seed % 2:
+        design = (rng.random((n, p)) < 0.3).astype(float)
+    else:
+        design = rng.normal(size=(n, p))
+    if seed % 3 == 0:
+        design[:, int(rng.integers(0, p))] = 1.0  # constant column
+    if seed % 4 == 0:
+        design[:, -1] = design[:, 0]  # exact duplicate column
+    k = int(rng.integers(1, min(n, p)))
+    coefficients = np.zeros(p)
+    coefficients[rng.choice(p, size=k, replace=False)] = \
+        rng.normal(size=k) * 3
+    target = design @ coefficients + \
+        rng.normal(size=n) * (10.0 ** rng.integers(-6, 1))
+    forced = list(rng.choice(p, size=int(rng.integers(0, 4)),
+                             replace=True))
+    max_features = None if seed % 5 else int(rng.integers(1, p + 1))
+    ridge = float(10.0 ** rng.integers(-9, -4))
+    return design, target, forced, max_features, ridge
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_stepwise_gram_matches_naive(seed):
+    design, target, forced, max_features, ridge = _random_problem(seed)
+    naive = stepwise_select(design, target, max_features=max_features,
+                            ridge=ridge, forced_features=forced,
+                            method="naive")
+    gram = stepwise_select(design, target, max_features=max_features,
+                           ridge=ridge, forced_features=forced,
+                           method="gram")
+    assert list(naive.features) == list(gram.features)
+    assert naive.intercept == gram.intercept
+    assert np.array_equal(naive.coefficients, gram.coefficients)
+
+
+def test_stepwise_gram_matches_naive_on_saturated_fit():
+    # n close to p with near-zero final residual: the regime where the
+    # gram identity y'y - b.beta cancels catastrophically
+    rng = np.random.default_rng(3)
+    design = (rng.random((24, 40)) < 0.4).astype(float)
+    target = design @ rng.normal(size=40)  # exactly representable
+    naive = stepwise_select(design, target, f_threshold=4.0,
+                            method="naive")
+    gram = stepwise_select(design, target, f_threshold=4.0,
+                           method="gram")
+    assert list(naive.features) == list(gram.features)
+    assert np.array_equal(naive.coefficients, gram.coefficients)
+
+
+def test_stepwise_forced_duplicates_deduped():
+    design, target, _ = _synthetic(p=10, informative=(2, 7))
+    for method in ("naive", "gram"):
+        duped = stepwise_select(design, target, forced_features=[1, 1, 2],
+                                method=method)
+        clean = stepwise_select(design, target, forced_features=[1, 2],
+                                method=method)
+        assert list(duped.features) == list(clean.features)
+        assert np.array_equal(duped.coefficients, clean.coefficients)
+
+
+def test_stepwise_integer_target_matches_float():
+    design, target, _ = _synthetic(p=12, informative=(2, 7), noise=0.3)
+    rounded = np.round(target).astype(int)
+    for method in ("naive", "gram"):
+        from_int = stepwise_select(design, rounded, method=method)
+        from_float = stepwise_select(design, rounded.astype(float),
+                                     method=method)
+        assert list(from_int.features) == list(from_float.features)
+        assert np.array_equal(from_int.coefficients,
+                              from_float.coefficients)
+
+
+def test_stepwise_rejects_unknown_method():
+    design, target, _ = _synthetic(p=5, informative=(2,))
+    with pytest.raises(ValueError, match="method"):
+        stepwise_select(design, target, method="fast")
+
+
+def test_fit_full_gram_cache_is_bit_identical():
+    from repro.core.regression import GramCache
+
+    design, target, _ = _synthetic(p=10, informative=(2, 7))
+    plain = fit_full(design, target)
+    cached = fit_full(design, target, gram=GramCache(design, target))
+    assert plain.intercept == cached.intercept
+    assert np.array_equal(plain.coefficients, cached.coefficients)
+
+
+def test_fit_full_accepts_integer_target():
+    design, target, _ = _synthetic(p=8, informative=(1, 4), noise=0.2)
+    model = fit_full(design, np.round(target).astype(int))
+    assert model.r_squared > 0.8

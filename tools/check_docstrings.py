@@ -14,6 +14,11 @@ Configuration lives in ``pyproject.toml``::
     [tool.repro.docstrings]
     fail-under = 100.0
     packages = ["src/repro/core", "src/repro/signal"]
+    modules = ["src/repro/core/regression.py"]
+
+``packages`` entries are walked recursively; ``modules`` entries pin
+individual files, so a module stays gated at the threshold even if its
+package is later dropped from (or loosened in) ``packages``.
 
 Run directly (``python tools/check_docstrings.py``) or via
 ``make docstrings`` / ``make check``.
@@ -33,6 +38,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_CONFIG = {
     "fail-under": 100.0,
     "packages": ["src/repro/core", "src/repro/signal"],
+    "modules": [],
 }
 
 
@@ -81,24 +87,30 @@ def _definitions(tree: ast.Module) -> Iterator[Tuple[str, ast.AST]]:
                     yield f"{node.name}.{child.name}", child
 
 
+def _check_file(path: str, report: Report) -> None:
+    """Tally one ``.py`` file's public definitions into ``report``."""
+    relative = os.path.relpath(path, REPO_ROOT)
+    with open(path) as handle:
+        tree = ast.parse(handle.read(), filename=relative)
+    for name, node in _definitions(tree):
+        report.total += 1
+        if ast.get_docstring(node):
+            report.documented += 1
+        else:
+            report.missing.append(f"{relative}: {name}")
+
+
 def check_package(package: str) -> Report:
-    """Docstring coverage over every ``.py`` file under ``package``."""
+    """Docstring coverage over ``package``: a directory tree or one file."""
     report = Report(package=package)
     root = os.path.join(REPO_ROOT, package)
+    if os.path.isfile(root):
+        _check_file(root, report)
+        return report
     for directory, _, files in sorted(os.walk(root)):
         for filename in sorted(files):
-            if not filename.endswith(".py"):
-                continue
-            path = os.path.join(directory, filename)
-            relative = os.path.relpath(path, REPO_ROOT)
-            with open(path) as handle:
-                tree = ast.parse(handle.read(), filename=relative)
-            for name, node in _definitions(tree):
-                report.total += 1
-                if ast.get_docstring(node):
-                    report.documented += 1
-                else:
-                    report.missing.append(f"{relative}: {name}")
+            if filename.endswith(".py"):
+                _check_file(os.path.join(directory, filename), report)
     return report
 
 
@@ -106,7 +118,8 @@ def main() -> int:
     config = load_config()
     threshold = float(config["fail-under"])
     failed = False
-    for package in config["packages"]:
+    for package in list(config["packages"]) + list(config.get("modules",
+                                                              [])):
         report = check_package(package)
         status = "ok" if report.coverage >= threshold else "FAIL"
         print(f"{report.package}: {report.documented}/{report.total} "
