@@ -34,7 +34,7 @@ from .hardware import BOARDS, HardwareDevice
 from .isa import assemble
 from .leakage import SimulatorSignalSource, savat_matrix
 from .profiling import enable_profiling, get_profiler, write_bench_json
-from .robustness import FaultPlan, ReproError
+from .robustness import ConfigurationError, FaultPlan, ReproError
 from .signal import simulation_accuracy
 from .uarch import DEFAULT_CONFIG
 
@@ -208,12 +208,15 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_accuracy(args) -> int:
+    if args.groups < 1:
+        raise ConfigurationError("--groups must be >= 1")
     model = load_model(args.model)
     device = HardwareDevice(board=BOARDS[args.board])
     simulator = EMSim(model, core_config=device.core_config)
     total = 0.0
     groups = coverage_groups(group_size=256, seed=7,
                              limit_groups=args.groups)
+    group_count = len(groups)
     simulations = simulator.simulate_many(groups, workers=args.workers)
     for group, simulated in zip(groups, simulations):
         measured = device.capture_ideal(group)
@@ -223,7 +226,7 @@ def _cmd_accuracy(args) -> int:
                                     device.samples_per_cycle)
         total += score
         print(f"  {group.name}: {score:6.1%}")
-    print(f"mean accuracy: {total / len(groups):6.1%} "
+    print(f"mean accuracy: {total / group_count:6.1%} "
           f"(paper: ~94.1%)")
     return 0
 

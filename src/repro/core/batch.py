@@ -33,14 +33,15 @@ cached traces are bit-identical to fresh runs.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..hardware.device import HardwareDevice
+from ..isa.program import Program
 from ..parallel import parallel_map, resolve_workers, spawn_seed
-from ..profiling import get_profiler
+from ..profiling import get_profiler, monotonic
 from ..robustness.health import CaptureQuality
 from ..signal.kernels import DEFAULT_KERNEL, Kernel
 from ..signal.reconstruction import (batch_estimate_cycle_amplitudes,
@@ -171,11 +172,11 @@ def _campaign_item(item) -> CampaignProbe:
     if injector is not None:
         injector.reseed(spawn_seed(seed, index, stream=1))
     batched = _WORKER_STATE["batched"]
-    start = time.perf_counter()
+    start = monotonic()
     measurement = device.capture_reference(
         program, repetitions=_WORKER_STATE["repetitions"],
         max_cycles=_WORKER_STATE["max_cycles"], batched=batched)
-    captured = time.perf_counter()
+    captured = monotonic()
     kernel = _WORKER_STATE["kernel"]
     samples_per_cycle = _WORKER_STATE["samples_per_cycle"]
     if batched:
@@ -184,7 +185,7 @@ def _campaign_item(item) -> CampaignProbe:
     else:
         amplitudes = estimate_cycle_amplitudes(
             measurement.signal, kernel, samples_per_cycle)
-    done = time.perf_counter()
+    done = monotonic()
     return CampaignProbe(index=index, program_name=measurement.program_name,
                          signal=measurement.signal, amplitudes=amplitudes,
                          quality=measurement.quality,
@@ -192,7 +193,8 @@ def _campaign_item(item) -> CampaignProbe:
                          deconvolve_seconds=done - captured)
 
 
-def measurement_campaign(device, programs: Sequence,
+def measurement_campaign(device: HardwareDevice,
+                         programs: Sequence[Program],
                          repetitions: int = 50,
                          workers: int = 1,
                          seed: int = 0,

@@ -51,6 +51,6 @@ class EMSimConfig:
     # minimum |A| below which activity scaling is not applied
     amplitude_floor: float = 1e-3
 
-    def with_switches(self, **flags) -> "EMSimConfig":
+    def with_switches(self, **flags: bool) -> "EMSimConfig":
         """Copy with some :class:`ModelSwitches` fields replaced."""
         return replace(self, switches=replace(self.switches, **flags))

@@ -15,6 +15,7 @@ the file and the reason instead of a bare JSON traceback.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
@@ -188,10 +189,8 @@ def save_model(model: EMSimModel, path: str) -> None:
             os.fsync(handle.fileno())
         os.replace(temp_path, path)
     except BaseException:
-        try:
+        with contextlib.suppress(OSError):
             os.unlink(temp_path)
-        except OSError:
-            pass
         raise
 
 

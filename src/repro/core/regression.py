@@ -22,7 +22,7 @@ The selector has two engines sharing one search policy:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -98,12 +98,13 @@ class GramCache:
         self.moment = self.augmented.T @ self.target
         self.target_ss = float(self.target @ self.target)
 
-    def indices(self, columns) -> np.ndarray:
+    def indices(self, columns: Sequence[int]) -> np.ndarray:
         """Augmented-matrix indices (intercept first) for design columns."""
         columns = np.asarray(list(columns), dtype=int)
         return np.concatenate(([0], columns + 1))
 
-    def solve(self, columns, ridge: float) -> Tuple[float, np.ndarray]:
+    def solve(self, columns: Sequence[int],
+              ridge: float) -> Tuple[float, np.ndarray]:
         """Ridge solution ``(intercept, coef)`` over ``columns``.
 
         Solves the same normal equations :func:`fit_linear` would build

@@ -9,7 +9,7 @@ without any measurement equipment.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -126,8 +126,9 @@ class EMSim:
         return self.simulate_trace(self.run_trace(program,
                                                   max_cycles=max_cycles))
 
-    def simulate_many(self, programs, max_cycles: Optional[int] = None,
-                      workers: int = 1):
+    def simulate_many(self, programs: Sequence[Program],
+                      max_cycles: Optional[int] = None,
+                      workers: int = 1) -> List["SimulatedSignal"]:
         """Simulate many programs through the batched fan-out engine.
 
         Convenience wrapper around
@@ -141,7 +142,7 @@ class EMSim:
         return BatchSimulator(self, workers=workers).simulate_many(
             programs, max_cycles=max_cycles)
 
-    def with_switches(self, **flags) -> "EMSim":
+    def with_switches(self, **flags: bool) -> "EMSim":
         """A variant simulator with some model switches toggled."""
         return EMSim(self.model, core_config=self.core_config,
                      switches=replace(self.switches, **flags),

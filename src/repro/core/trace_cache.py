@@ -37,6 +37,7 @@ from typing import Any, Callable, Dict, Iterator, Optional
 
 import numpy as np
 
+from ..isa.program import Program
 from ..profiling import get_profiler
 from ..uarch.config import CoreConfig
 
@@ -52,7 +53,8 @@ def _config_bytes(config: CoreConfig) -> bytes:
     return repr(config).encode()
 
 
-def trace_key(program, config: CoreConfig, core_kind: str = "in-order",
+def trace_key(program: Program, config: CoreConfig,
+              core_kind: str = "in-order",
               max_cycles: Optional[int] = None, salt: str = "") -> str:
     """Content digest for ``program`` simulated under ``config``.
 
@@ -83,6 +85,8 @@ def trace_key(program, config: CoreConfig, core_kind: str = "in-order",
         machine_code = program.machine_code
         code = np.fromiter(machine_code, dtype=np.int64,
                            count=len(machine_code))
+        # repro: allow[N203] values are masked to 32 bits on the line
+        # above, so the little-endian u4 cast is lossless by design.
         sections.update((code & 0xFFFFFFFF).astype("<u4").tobytes())
         addresses = sorted(program.data)
         data = np.empty(len(addresses),
@@ -94,10 +98,10 @@ def trace_key(program, config: CoreConfig, core_kind: str = "in-order",
         data["value"] = values & 0xFF
         sections.update(data.tobytes())
         content = sections.digest()
-        try:
+        # memoize on the program when it allows attributes (slotted or
+        # frozen programs simply skip the memo and re-hash next time)
+        with contextlib.suppress(AttributeError):
             program._trace_digest = content
-        except AttributeError:
-            pass
     hasher.update(content)
     return hasher.hexdigest()
 
@@ -164,7 +168,7 @@ class TraceCache:
         if self.directory is not None:
             self._write_disk(key, value)
 
-    def get_or_run(self, program, config: CoreConfig,
+    def get_or_run(self, program: Program, config: CoreConfig,
                    runner: Callable[[], Any], *,
                    core_kind: str = "in-order",
                    max_cycles: Optional[int] = None, salt: str = "",
@@ -216,8 +220,9 @@ class TraceCache:
             return None
 
     def _write_disk(self, key: str, value: Any) -> None:
-        """Atomically pickle an entry (tmp file + rename); best-effort."""
-        try:
+        """Atomically pickle an entry (tmp file + rename); best-effort —
+        a full or read-only cache directory must never fail the run."""
+        with contextlib.suppress(OSError):
             os.makedirs(self.directory, exist_ok=True)
             handle = tempfile.NamedTemporaryFile(
                 mode="wb", dir=self.directory, suffix=".tmp", delete=False)
@@ -230,8 +235,6 @@ class TraceCache:
                 with contextlib.suppress(OSError):
                     os.unlink(handle.name)
                 raise
-        except OSError:
-            pass
 
 
 _GLOBAL_CACHE = TraceCache(

@@ -20,7 +20,6 @@ internal parameters.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -29,7 +28,7 @@ import numpy as np
 from ..hardware.device import HardwareDevice, Measurement
 from ..isa.program import Program
 from ..parallel import parallel_map, resolve_workers, spawn_seed
-from ..profiling import get_profiler
+from ..profiling import get_profiler, monotonic
 from ..robustness.errors import ConvergenceError, ProbeError
 from ..robustness.health import HealthPolicy
 from ..robustness.retry import (AcquisitionStats, CaptureSupervisor,
@@ -249,7 +248,7 @@ class Trainer:
         if resolve_workers(self.workers) <= 1 or len(programs) <= 1:
             return [self._measure(program) for program in programs]
         profiler = get_profiler()
-        start = time.perf_counter()
+        start = monotonic()
         results = parallel_map(
             _pool_measure, list(enumerate(programs)),
             workers=self.workers,
@@ -258,7 +257,7 @@ class Trainer:
                       self.retry_policy or RetryPolicy(seed=self.seed),
                       self.health_policy or HealthPolicy(),
                       not self.strict, self.seed))
-        profiler.add_phase("train.capture", time.perf_counter() - start,
+        profiler.add_phase("train.capture", monotonic() - start,
                            calls=len(programs))
         measurements: List[Measurement] = []
         for measurement, outcome in results:
@@ -704,6 +703,9 @@ class Trainer:
             targets.append(measured[:trace.num_cycles])
         design = np.vstack(designs)
         target = np.concatenate(targets)
+        # repro: allow[N201] design entries are exact integer event
+        # counts stored as floats; the zero test is exact by
+        # construction (it selects rows with no factor activity).
         pure_floor = np.all(design[:, len(STAGES):] == 0.0, axis=1)
         weights = np.where(pure_floor, 25.0, 1.0)
         if self._robust_enabled:
@@ -734,7 +736,7 @@ class Trainer:
 
 def train_emsim(device: HardwareDevice,
                 config: Optional[EMSimConfig] = None,
-                **kwargs) -> EMSimModel:
+                **kwargs: object) -> EMSimModel:
     """One-call training of EMSim against a device bench."""
     trainer = Trainer(device=device, config=config or EMSimConfig(),
                       **kwargs)

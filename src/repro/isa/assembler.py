@@ -220,9 +220,9 @@ class Assembler:
         try:
             return int(text, 0)
         except ValueError:
-            pass
-        if text in self.symbols:
-            return self.symbols[text]
+            # not an integer literal: fall back to the symbol table
+            if text in self.symbols:
+                return self.symbols[text]
         raise KeyError(text)
 
     def _resolve(self, text: str, pc: int, line_number: int,

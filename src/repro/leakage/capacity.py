@@ -50,10 +50,11 @@ def mutual_information(secrets: Sequence[int],
         secret_mask = secrets == secret
         p_secret = secret_mask.mean()
         for bin_index in range(num_bins):
-            joint = float(np.mean(secret_mask &
-                                  (feature_bins == bin_index)))
-            if joint == 0.0:
+            joint_count = int(np.count_nonzero(
+                secret_mask & (feature_bins == bin_index)))
+            if joint_count == 0:
                 continue
+            joint = joint_count / total
             p_bin = float((feature_bins == bin_index).mean())
             information += joint * np.log2(joint / (p_secret * p_bin))
     return max(0.0, float(information))

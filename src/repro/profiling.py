@@ -29,7 +29,21 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional
 
 __all__ = ["PhaseStat", "Profiler", "get_profiler", "enable_profiling",
-           "disable_profiling", "write_bench_json", "BENCH_SCHEMA"]
+           "disable_profiling", "monotonic", "write_bench_json",
+           "BENCH_SCHEMA"]
+
+
+def monotonic() -> float:
+    """High-resolution monotonic timestamp (seconds).
+
+    The one sanctioned clock read for instrumented code outside this
+    module: simulation-core files must route timing through here (or
+    :meth:`Profiler.phase`) so the ``D102`` determinism lint can
+    guarantee no other time dependence exists in the core.  Durations
+    derived from it may only feed profiling/benchmark reports — never
+    model outputs.
+    """
+    return time.perf_counter()
 
 BENCH_SCHEMA = "repro-bench/1"
 """Schema tag stamped into every ``BENCH_sim.json`` this package writes."""

@@ -17,7 +17,7 @@ See ``docs/robustness.md`` for the fault taxonomy and the degradation
 ladder end to end.
 """
 
-from .errors import (AcquisitionError, CaptureQualityError,
+from .errors import (AcquisitionError, AnalysisError, CaptureQualityError,
                      ConfigurationError, ConvergenceError, ModelFormatError,
                      ProbeError, ReproError, exit_code_for)
 from .faults import FAULT_KINDS, FaultInjector, FaultPlan
@@ -29,6 +29,7 @@ from .retry import (AcquisitionStats, CaptureSupervisor, ProbeOutcome,
 __all__ = [
     "AcquisitionError",
     "AcquisitionStats",
+    "AnalysisError",
     "CaptureQuality",
     "CaptureQualityError",
     "CaptureSupervisor",

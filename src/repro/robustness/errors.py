@@ -88,6 +88,17 @@ class ConfigurationError(ReproError, ValueError):
     exit_code = 16
 
 
+class AnalysisError(ReproError):
+    """Static analysis (``python -m tools.analysis``) found violations.
+
+    Raised/exited by the repro-lint gate when unsuppressed findings
+    remain, so ``make check`` failures from the analyzer are
+    distinguishable from test failures in scripted pipelines.
+    """
+
+    exit_code = 17
+
+
 def exit_code_for(error: BaseException) -> int:
     """CLI exit code for an exception (1 for non-:class:`ReproError`)."""
     if isinstance(error, ReproError):

@@ -24,6 +24,8 @@ def gaussian_smooth(signal: np.ndarray, sigma: float) -> np.ndarray:
     radius = max(1, int(np.ceil(3 * sigma)))
     offsets = np.arange(-radius, radius + 1)
     kernel = np.exp(-0.5 * (offsets / sigma) ** 2)
+    # repro: allow[N202] the kernel contains exp(0) = 1 at offset 0, so
+    # its sum is always >= 1; the normalization cannot divide by zero.
     kernel /= kernel.sum()
     padded = np.pad(signal, radius, mode="edge")
     return np.convolve(padded, kernel, mode="valid")

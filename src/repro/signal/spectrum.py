@@ -21,8 +21,13 @@ def power_spectrum(signal: np.ndarray,
     """
     signal = np.asarray(signal, dtype=float)
     window = np.hanning(len(signal))
+    window_energy = float(np.sum(window ** 2))
+    if window_energy <= 0.0:
+        # hanning(0) is empty and hanning(2) is all zeros
+        raise ValueError("capture too short: Hann window has zero "
+                         "energy, no spectrum can be formed")
     spectrum = np.fft.rfft((signal - signal.mean()) * window)
-    power = (np.abs(spectrum) ** 2) / np.sum(window ** 2)
+    power = (np.abs(spectrum) ** 2) / window_energy
     frequencies = np.fft.rfftfreq(len(signal), d=1.0 / sample_rate)
     return frequencies, power
 

@@ -392,7 +392,7 @@ class OutOfOrderCore:
                 seq=entry.seq))
             return None
         instr = entry.instr
-        for reg in set(instr.source_registers):
+        for reg in sorted(set(instr.source_registers)):
             if reg == 0:
                 entry.operands[reg] = (True, 0)
             elif reg in self.producer:

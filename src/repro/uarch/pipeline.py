@@ -410,7 +410,7 @@ class Pipeline:
             return None
 
         operands = {}
-        for reg in set(instr.source_registers):
+        for reg in sorted(set(instr.source_registers)):
             value, ready, cause = self._operand(reg)
             if not ready:
                 occ["D"] = StageOccupancy(OCC_STALL, instr=instr,

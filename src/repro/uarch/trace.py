@@ -156,6 +156,8 @@ class ActivityTrace:
         columns = []
         for column, (_, width) in enumerate(STAGE_REGISTERS[stage]):
             shifts = np.arange(width, dtype=np.uint64)
+            # repro: allow[N203] each element is masked to a single bit
+            # (0 or 1) before the cast, so uint8 is lossless here.
             columns.append(((xor[:, column:column + 1] >> shifts) &
                             np.uint64(1)).astype(np.uint8))
         cache[stage] = np.hstack(columns)

@@ -1,0 +1,8 @@
+"""Entry point: ``python -m tools.analysis`` (run from the repo root,
+or anywhere — paths are resolved against the repo the tool lives in)."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

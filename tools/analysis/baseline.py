@@ -1,0 +1,62 @@
+"""Baseline handling: the committed ledger of accepted findings.
+
+A baseline lets the gate land at zero *new* findings while historical
+debt is burned down separately.  This repo's policy (see
+``docs/static-analysis.md``) is stricter — the committed baseline is
+empty and every legacy finding was fixed or inline-suppressed — but the
+mechanism stays, so future rules can be introduced without blocking on
+an instant repo-wide sweep.
+
+Matching is exact on ``(path, line, col, rule, message)``; a drifted
+line number shows up as one stale entry plus one new finding, which is
+the prompt to re-run ``--write-baseline`` and review the diff.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Tuple
+
+from .core import Finding
+
+BASELINE_SCHEMA = "repro-lint-baseline/1"
+
+
+def load_baseline(path: str) -> List[Finding]:
+    """Read a baseline file; a missing file is an empty baseline."""
+    if not os.path.exists(path):
+        return []
+    with open(path) as handle:
+        document = json.load(handle)
+    if document.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(f"{path}: unsupported baseline schema "
+                         f"{document.get('schema')!r}")
+    return sorted(Finding.from_dict(entry)
+                  for entry in document.get("findings", []))
+
+
+def write_baseline(path: str, findings: List[Finding]) -> None:
+    """Write ``findings`` as the new baseline (sorted, stable bytes)."""
+    document = {
+        "schema": BASELINE_SCHEMA,
+        "findings": [finding.to_dict() for finding in sorted(findings)],
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def apply_baseline(findings: List[Finding], baseline: List[Finding]
+                   ) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into ``(new, stale_baseline_entries)``.
+
+    ``new`` is every finding not absorbed by the baseline; ``stale``
+    is every baseline entry that no longer matches a real finding (a
+    fixed defect whose ledger row should now be deleted).
+    """
+    known = set(baseline)
+    new = [finding for finding in findings if finding not in known]
+    current = set(findings)
+    stale = [entry for entry in baseline if entry not in current]
+    return sorted(new), sorted(stale)

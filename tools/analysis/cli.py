@@ -1,0 +1,119 @@
+"""Command-line front end for ``python -m tools.analysis``.
+
+Exit codes follow the documented ``ReproError`` table
+(``docs/robustness.md``): ``0`` clean, ``17`` (``AnalysisError``) when
+unsuppressed findings remain, ``16`` (``ConfigurationError``) for bad
+invocations or config, ``2`` from argparse itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .config import REPO_ROOT, load_config
+from .core import Analyzer
+from .report import render_json, render_rule_list, render_text
+from .rules import all_rules
+
+#: mirrors ``AnalysisError.exit_code`` / ``ConfigurationError.exit_code``
+#: without importing numpy-heavy ``repro`` for the common clean path;
+#: ``test_analysis.py`` pins these against the real classes.
+EXIT_FINDINGS = 17
+EXIT_CONFIG = 16
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.analysis",
+        description="repro-lint: AST-based invariant analyzer "
+                    "(determinism, numerical safety, error contracts, "
+                    "API hygiene)")
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files/directories to scan (default: the "
+                             "configured lint surface)")
+    parser.add_argument("--format", default="text",
+                        choices=("text", "json"),
+                        help="report format (json is byte-stable "
+                             "across runs)")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write the report here instead of stdout")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="baseline file (default: the configured "
+                             "tools/analysis/baseline.json)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline: report every "
+                             "finding")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="accept the current findings into the "
+                             "baseline file and exit 0")
+    parser.add_argument("--select", default=None, metavar="IDS",
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--ignore", default=None, metavar="IDS",
+                        help="comma-separated rule ids to skip")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the registered rules and exit")
+    return parser
+
+
+def _pick_rules(select: Optional[str], ignore: Optional[str]):
+    rules = all_rules()
+    known = {rule.rule_id for rule in rules}
+    for option, value in (("--select", select), ("--ignore", ignore)):
+        if value:
+            unknown = sorted(set(_split(value)) - known)
+            if unknown:
+                raise ValueError(f"{option}: unknown rule id(s) "
+                                 f"{', '.join(unknown)}")
+    if select:
+        wanted = set(_split(select))
+        rules = [rule for rule in rules if rule.rule_id in wanted]
+    if ignore:
+        dropped = set(_split(ignore))
+        rules = [rule for rule in rules if rule.rule_id not in dropped]
+    return rules
+
+
+def _split(value: str) -> List[str]:
+    return [part.strip() for part in value.split(",") if part.strip()]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the analyzer; returns a ``ReproError``-table exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        config = load_config(REPO_ROOT)
+        rules = _pick_rules(args.select, args.ignore)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_CONFIG
+    if args.list_rules:
+        print(render_rule_list(rules))
+        return 0
+
+    analyzer = Analyzer(rules, config, root=REPO_ROOT)
+    result = analyzer.run(args.paths or None)
+
+    baseline_path = os.path.join(
+        REPO_ROOT, args.baseline or config.baseline)
+    if args.write_baseline:
+        write_baseline(baseline_path, result.findings)
+        print(f"baseline written: {len(result.findings)} finding(s) "
+              f"-> {os.path.relpath(baseline_path, REPO_ROOT)}")
+        return 0
+    baseline = [] if args.no_baseline else load_baseline(baseline_path)
+    new, stale = apply_baseline(result.findings, baseline)
+
+    render = render_json if args.format == "json" else render_text
+    report = render(result, new, stale)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report if report.endswith("\n")
+                         else report + "\n")
+    else:
+        print(report, end="" if report.endswith("\n") else "\n")
+    return EXIT_FINDINGS if new or stale else 0

@@ -1,0 +1,108 @@
+"""Analyzer configuration, read from ``[tool.repro.analysis]``.
+
+Every knob has a default tuned to this repository, so a bare
+``python -m tools.analysis`` checks exactly what ``make lint`` gates.
+Path-valued options are repo-root-relative prefixes; a file matches a
+prefix when its relative path equals the prefix or lives under it.
+Tests override individual fields to point rules at fixture trees.
+"""
+
+from __future__ import annotations
+
+import os
+import tomllib
+from dataclasses import dataclass, field, fields, replace
+from typing import List
+
+REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """All analyzer settings; field names mirror the pyproject keys."""
+
+    #: directory trees scanned for ``.py`` files (the lint surface).
+    paths: List[str] = field(default_factory=lambda: ["src", "tools"])
+    #: committed baseline of accepted findings.
+    baseline: str = "tools/analysis/baseline.json"
+    #: modules making up the CLI layer; E303 restricts their raises.
+    cli_modules: List[str] = field(default_factory=lambda: [
+        "src/repro/cli.py", "src/repro/__main__.py"])
+    #: the one sanctioned process-pool module (D105 flags pools elsewhere).
+    pool_modules: List[str] = field(default_factory=lambda: [
+        "src/repro/parallel.py"])
+    #: packages where even monotonic clocks are banned (D102); the
+    #: simulation core must be a pure function of its seeds.
+    monotonic_strict: List[str] = field(default_factory=lambda: [
+        "src/repro/core", "src/repro/uarch", "src/repro/signal"])
+    #: modules that own timing primitives, exempt from D102 entirely.
+    clock_owner_modules: List[str] = field(default_factory=lambda: [
+        "src/repro/profiling.py"])
+    #: packages whose public API must be fully annotated (A404).
+    annotations_packages: List[str] = field(default_factory=lambda: [
+        "src/repro/core"])
+    #: packages/modules whose public API must be fully documented (A401;
+    #: populated from ``[tool.repro.docstrings]`` for one-gate parity).
+    docstring_packages: List[str] = field(default_factory=lambda: [
+        "src/repro/core", "src/repro/signal"])
+    #: process exit codes the repo documents (E304); kept in sync with
+    #: the ``ReproError`` table in ``docs/robustness.md``.
+    exit_codes: List[int] = field(default_factory=lambda: [
+        0, 1, 2, 10, 11, 12, 13, 14, 15, 16, 17])
+    #: markdown surfaces checked by the doc rules (A402/A403).
+    doc_files: List[str] = field(default_factory=lambda: [
+        "README.md", "docs"])
+
+
+def _pyproject_section(root: str, *keys: str) -> dict:
+    """Return a nested table from ``pyproject.toml`` ({} when absent)."""
+    path = os.path.join(root, "pyproject.toml")
+    if not os.path.exists(path):
+        return {}
+    with open(path, "rb") as handle:
+        document = tomllib.load(handle)
+    for key in keys:
+        document = document.get(key, {})
+    return document if isinstance(document, dict) else {}
+
+
+def load_config(root: str = REPO_ROOT) -> AnalysisConfig:
+    """Build the effective config: defaults + pyproject overrides.
+
+    ``[tool.repro.analysis]`` keys use dashes (``cli-modules``); they
+    map onto the dataclass fields with underscores.  The docstring
+    package list is inherited from ``[tool.repro.docstrings]`` so the
+    migrated A401 pass gates exactly what ``check_docstrings`` gated.
+    """
+    config = AnalysisConfig()
+    docstrings = _pyproject_section(root, "tool", "repro", "docstrings")
+    if docstrings:
+        packages = list(docstrings.get("packages", []))
+        packages += list(docstrings.get("modules", []))
+        if packages:
+            config = replace(config, docstring_packages=packages)
+    overrides = _pyproject_section(root, "tool", "repro", "analysis")
+    known = {f.name for f in fields(AnalysisConfig)}
+    updates = {}
+    for key, value in overrides.items():
+        name = key.replace("-", "_")
+        if name not in known:
+            raise ValueError(f"[tool.repro.analysis]: unknown key {key!r}")
+        updates[name] = value
+    return replace(config, **updates) if updates else config
+
+
+def path_matches(relative: str, prefixes: List[str]) -> bool:
+    """True when ``relative`` equals a prefix or lives under one.
+
+    The empty-string prefix matches everything, which fixture tests use
+    to aim package-scoped rules at temporary trees.
+    """
+    normalized = relative.replace(os.sep, "/")
+    for prefix in prefixes:
+        prefix = prefix.replace(os.sep, "/").rstrip("/")
+        if not prefix or normalized == prefix or \
+                normalized.startswith(prefix + "/"):
+            return True
+    return False

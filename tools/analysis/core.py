@@ -1,0 +1,321 @@
+"""Analyzer core: finding model, per-file AST context, rule base classes,
+and the engine that runs every pass in a single tree walk.
+
+The design splits a *rule* (one invariant, one ``RULE-ID``) from the
+*engine* (file discovery, parsing, dispatch, suppression, ordering):
+
+* :class:`Rule` subclasses declare the AST node types they care about
+  and yield ``(node, message)`` pairs from :meth:`Rule.check_node`;
+  the engine visits each file's tree exactly once and dispatches every
+  node to all interested rules, so adding a pass costs one class, not
+  one traversal.
+* :class:`ProjectRule` subclasses skip the AST and check repo-level
+  artifacts (markdown links, the CLI reference) via
+  :meth:`ProjectRule.check_project`.
+* :class:`FileContext` gives rules the shared per-file facts they need:
+  resolved import aliases (``np`` -> ``numpy``), parent links,
+  ``np.errstate`` spans, and inline suppression comments.
+
+Output is deterministic by construction: files are discovered in sorted
+order, findings are sorted by ``(path, line, col, rule, message)``, and
+nothing records wall-clock time.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .config import AnalysisConfig, path_matches
+
+SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*allow\[([A-Za-z]\d+(?:\s*,\s*[A-Za-z]\d+)*)\]")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, pinned to a ``file:line:col`` span."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """Human-readable one-liner (the text report row)."""
+        return f"{self.path}:{self.line}:{self.col}: " \
+               f"[{self.rule}] {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (stable key order via sort_keys)."""
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "rule": self.rule, "message": self.message}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        """Inverse of :meth:`to_dict` (used by the baseline loader)."""
+        return cls(path=data["path"], line=int(data["line"]),
+                   col=int(data["col"]), rule=data["rule"],
+                   message=data["message"])
+
+
+class FileContext:
+    """Shared per-file facts rules draw on while visiting one tree."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module,
+                 config: AnalysisConfig):
+        self.path = path.replace(os.sep, "/")
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.config = config
+        self.parents: Dict[ast.AST, ast.AST] = {}
+        self.imports: Dict[str, str] = {}
+        self.errstate_spans: List[Tuple[int, int]] = []
+        self.suppressions: Dict[int, set] = {}
+        self._index(tree)
+        self._scan_suppressions()
+
+    # ------------------------------------------------------------------
+    # indexing
+    # ------------------------------------------------------------------
+    def _index(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                self.parents[child] = node
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.imports[alias.asname or
+                                 alias.name.split(".")[0]] = \
+                        alias.name if alias.asname else \
+                        alias.name.split(".")[0]
+            elif isinstance(node, ast.ImportFrom) and node.module and \
+                    not node.level:
+                for alias in node.names:
+                    self.imports[alias.asname or alias.name] = \
+                        f"{node.module}.{alias.name}"
+            elif isinstance(node, ast.With):
+                for item in node.items:
+                    call = item.context_expr
+                    if isinstance(call, ast.Call) and \
+                            self.qualname(call.func) == "numpy.errstate":
+                        self.errstate_spans.append(
+                            (node.lineno, node.end_lineno or node.lineno))
+
+    def _scan_suppressions(self) -> None:
+        for number, line in enumerate(self.lines, start=1):
+            match = SUPPRESS_RE.search(line)
+            if not match:
+                continue
+            ids = {part.strip() for part in match.group(1).split(",")}
+            self.suppressions.setdefault(number, set()).update(ids)
+            if line[:match.start()].strip():
+                continue  # inline comment: applies to this line only
+            # standalone comment: also cover the next code line, so a
+            # multi-line explanation can sit between tag and statement
+            cursor = number
+            while cursor < len(self.lines):
+                text = self.lines[cursor].strip()
+                cursor += 1
+                if text and not text.startswith("#"):
+                    self.suppressions.setdefault(cursor,
+                                                 set()).update(ids)
+                    break
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def qualname(self, node: ast.AST) -> Optional[str]:
+        """Dotted name of an expression with import aliases resolved.
+
+        ``np.random.default_rng`` resolves to
+        ``numpy.random.default_rng`` under ``import numpy as np``;
+        ``perf_counter`` resolves to ``time.perf_counter`` under
+        ``from time import perf_counter``.  Returns ``None`` for
+        expressions that are not plain dotted names (calls, subscripts).
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.imports.get(node.id, node.id)
+        return ".".join([base] + list(reversed(parts)))
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """Immediate parent node (``None`` for the module itself)."""
+        return self.parents.get(node)
+
+    def in_errstate(self, line: int) -> bool:
+        """True when ``line`` sits inside a ``with np.errstate`` block."""
+        return any(start <= line <= end
+                   for start, end in self.errstate_spans)
+
+    def is_suppressed(self, line: int, rule: str) -> bool:
+        """True when an allow comment covers ``rule`` at ``line``.
+
+        Inline tags cover their own line; standalone comment tags cover
+        the next code line (with any further comment lines between).
+        """
+        return rule in self.suppressions.get(line, set())
+
+
+@dataclass
+class Project:
+    """Repo-level view handed to :class:`ProjectRule` passes."""
+
+    root: str
+    config: AnalysisConfig
+
+
+class Rule:
+    """Base class for one AST-level invariant check.
+
+    Subclasses set :attr:`rule_id` / :attr:`family` / :attr:`title`,
+    declare :attr:`node_types`, and implement :meth:`check_node`.
+    :meth:`applies_to` narrows a rule to a subset of files (the engine
+    skips dispatch entirely for files a rule declines).
+    """
+
+    rule_id: str = ""
+    family: str = ""
+    title: str = ""
+    #: AST node classes this rule wants to see; () = whole-file rule
+    #: that only implements :meth:`check_file`.
+    node_types: Tuple[type, ...] = ()
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Whether this rule runs on ``ctx`` at all (default: yes)."""
+        return True
+
+    def check_node(self, node: ast.AST,
+                   ctx: FileContext) -> Iterator[Tuple[ast.AST, str]]:
+        """Yield ``(node, message)`` for each violation at ``node``."""
+        return iter(())
+
+    def check_file(self, ctx: FileContext) -> Iterator[Tuple[int, str]]:
+        """Yield ``(line, message)`` pairs from whole-file analysis."""
+        return iter(())
+
+
+class ProjectRule(Rule):
+    """Base class for repo-level (non-AST) passes."""
+
+    def check_project(self,
+                      project: Project) -> Iterator[Tuple[str, int, str]]:
+        """Yield ``(relative path, line, message)`` per violation."""
+        return iter(())
+
+
+@dataclass
+class ScanResult:
+    """Everything one analyzer run produced, pre-sorted."""
+
+    findings: List[Finding]
+    suppressed: List[Finding]
+    checked_files: int
+
+
+class Analyzer:
+    """Runs a rule set over the configured lint surface."""
+
+    def __init__(self, rules: Sequence[Rule], config: AnalysisConfig,
+                 root: str):
+        self.rules = list(rules)
+        self.config = config
+        self.root = root
+
+    # ------------------------------------------------------------------
+    # file discovery
+    # ------------------------------------------------------------------
+    def python_files(self, paths: Optional[Sequence[str]] = None
+                     ) -> List[str]:
+        """Sorted repo-relative ``.py`` paths under the lint surface."""
+        found = []
+        for entry in sorted(paths if paths is not None
+                            else self.config.paths):
+            absolute = os.path.join(self.root, entry)
+            if os.path.isfile(absolute):
+                if absolute.endswith(".py"):
+                    found.append(os.path.relpath(absolute, self.root))
+                continue
+            for directory, subdirs, files in sorted(os.walk(absolute)):
+                subdirs.sort()
+                subdirs[:] = [d for d in subdirs if d != "__pycache__"]
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        found.append(os.path.relpath(
+                            os.path.join(directory, name), self.root))
+        return sorted(dict.fromkeys(
+            path.replace(os.sep, "/") for path in found))
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, paths: Optional[Sequence[str]] = None) -> ScanResult:
+        """Analyze the surface; returns sorted kept/suppressed findings."""
+        kept: List[Finding] = []
+        suppressed: List[Finding] = []
+        files = self.python_files(paths)
+        for relative in files:
+            with open(os.path.join(self.root, relative)) as handle:
+                source = handle.read()
+            tree = ast.parse(source, filename=relative)
+            ctx = FileContext(relative, source, tree, self.config)
+            for finding in self._check_tree(ctx):
+                (suppressed if ctx.is_suppressed(finding.line,
+                                                 finding.rule)
+                 else kept).append(finding)
+        project = Project(root=self.root, config=self.config)
+        for rule in self.rules:
+            if isinstance(rule, ProjectRule):
+                for path, line, message in rule.check_project(project):
+                    kept.append(Finding(path=path.replace(os.sep, "/"),
+                                        line=line, col=0,
+                                        rule=rule.rule_id,
+                                        message=message))
+        return ScanResult(findings=sorted(kept),
+                          suppressed=sorted(suppressed),
+                          checked_files=len(files))
+
+    def _check_tree(self, ctx: FileContext) -> Iterator[Finding]:
+        active = [rule for rule in self.rules
+                  if not isinstance(rule, ProjectRule)
+                  and rule.applies_to(ctx)]
+        by_type: Dict[type, List[Rule]] = {}
+        for rule in active:
+            for node_type in rule.node_types:
+                by_type.setdefault(node_type, []).append(rule)
+        for node in ast.walk(ctx.tree):
+            for rule in by_type.get(type(node), ()):
+                for where, message in rule.check_node(node, ctx):
+                    yield Finding(path=ctx.path,
+                                  line=getattr(where, "lineno", 1),
+                                  col=getattr(where, "col_offset", 0),
+                                  rule=rule.rule_id, message=message)
+        for rule in active:
+            for line, message in rule.check_file(ctx):
+                yield Finding(path=ctx.path, line=line, col=0,
+                              rule=rule.rule_id, message=message)
+
+
+def check_source(source: str, rules: Sequence[Rule],
+                 config: Optional[AnalysisConfig] = None,
+                 path: str = "<fixture>.py") -> ScanResult:
+    """Analyze one in-memory snippet (the fixture-test entry point)."""
+    config = config or AnalysisConfig()
+    tree = ast.parse(source, filename=path)
+    ctx = FileContext(path, source, tree, config)
+    analyzer = Analyzer(rules, config, root=".")
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in analyzer._check_tree(ctx):
+        (suppressed if ctx.is_suppressed(finding.line, finding.rule)
+         else kept).append(finding)
+    return ScanResult(findings=sorted(kept), suppressed=sorted(suppressed),
+                      checked_files=1)

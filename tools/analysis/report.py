@@ -1,0 +1,53 @@
+"""Report rendering: the text summary and the machine-readable JSON.
+
+Both formats are deterministic — findings arrive pre-sorted from the
+engine and the JSON is dumped with sorted keys and no timestamps — so
+two consecutive runs over the same tree produce byte-identical output
+(a property ``test_analysis.py`` pins).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from .core import Finding, Rule, ScanResult
+
+REPORT_SCHEMA = "repro-lint/1"
+
+
+def render_text(result: ScanResult, new: List[Finding],
+                stale: List[Finding]) -> str:
+    """Human-readable report: one row per finding, then the tally."""
+    lines = [finding.format() for finding in new]
+    for entry in stale:
+        lines.append(f"stale baseline entry (fixed? rerun "
+                     f"--write-baseline): {entry.format()}")
+    lines.append(f"repro-lint: {result.checked_files} file(s), "
+                 f"{len(new)} finding(s), "
+                 f"{len(result.suppressed)} suppressed, "
+                 f"{len(stale)} stale baseline entr"
+                 f"{'y' if len(stale) == 1 else 'ies'}")
+    return "\n".join(lines)
+
+
+def render_json(result: ScanResult, new: List[Finding],
+                stale: List[Finding]) -> str:
+    """Machine-readable report (schema ``repro-lint/1``)."""
+    document = {
+        "schema": REPORT_SCHEMA,
+        "checked_files": result.checked_files,
+        "findings": [finding.to_dict() for finding in new],
+        "suppressed": [finding.to_dict()
+                       for finding in result.suppressed],
+        "stale_baseline": [entry.to_dict() for entry in stale],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def render_rule_list(rules: Sequence[Rule]) -> str:
+    """The ``--list-rules`` table, grouped by family order of id."""
+    lines = []
+    for rule in rules:
+        lines.append(f"{rule.rule_id}  [{rule.family}] {rule.title}")
+    return "\n".join(lines)

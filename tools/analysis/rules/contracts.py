@@ -1,0 +1,185 @@
+"""Error-contract rules (``E3xx``): failures must stay typed and
+mapped to the documented exit-code table.
+
+PR 1 introduced the ``ReproError`` hierarchy so scripted pipelines can
+branch on failure families via exit codes.  These passes keep that
+contract tight: no handler may silently eat an exception, the CLI layer
+may only raise typed errors, and every literal process exit code must
+appear in the table in ``docs/robustness.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+from typing import FrozenSet, Iterator, Tuple
+
+from ..config import REPO_ROOT, path_matches
+from ..core import FileContext, Rule
+
+#: non-ReproError raises the CLI layer is still allowed: argparse's own
+#: conversion-error type (argparse turns it into exit code 2) and the
+#: interpreter-level exits.
+CLI_EXEMPT_RAISES = frozenset({
+    "ArgumentTypeError", "ArgumentError", "SystemExit",
+    "KeyboardInterrupt", "NotImplementedError",
+})
+
+#: fallback when ``repro.robustness.errors`` cannot be imported (kept in
+#: sync by ``test_analysis.py::test_repro_error_names_in_sync``).
+FALLBACK_REPRO_ERRORS = frozenset({
+    "ReproError", "AcquisitionError", "CaptureQualityError",
+    "ConvergenceError", "ModelFormatError", "ProbeError",
+    "ConfigurationError", "AnalysisError",
+})
+
+
+def repro_error_names() -> FrozenSet[str]:
+    """Names of every class in the ``ReproError`` hierarchy.
+
+    Resolved by importing :mod:`repro.robustness.errors` (the single
+    source of truth), so a new error subclass is allowed from the CLI
+    the moment it is defined; falls back to a static list when the
+    package is unimportable (e.g. fixture runs outside the repo).
+    """
+    source = os.path.join(REPO_ROOT, "src")
+    if source not in sys.path:
+        sys.path.insert(0, source)
+    try:
+        from repro.robustness import errors
+    except ImportError:  # pragma: no cover - repo always importable
+        return FALLBACK_REPRO_ERRORS
+    names = set()
+    stack = [errors.ReproError]
+    while stack:
+        cls = stack.pop()
+        names.add(cls.__name__)
+        stack.extend(cls.__subclasses__())
+    return frozenset(names)
+
+
+class BareExceptRule(Rule):
+    """E301: no bare ``except:`` (or ``except BaseException:``).
+
+    A bare handler catches ``SystemExit`` and ``KeyboardInterrupt``
+    too, turning an operator's Ctrl-C into whatever the handler does;
+    catch the narrowest ``ReproError`` family the caller can handle.
+    """
+
+    rule_id = "E301"
+    family = "contracts"
+    title = "bare except clause"
+    node_types = (ast.ExceptHandler,)
+
+    @staticmethod
+    def _reraises(node: ast.ExceptHandler) -> bool:
+        """True when the handler body contains a bare ``raise``."""
+        return any(isinstance(child, ast.Raise) and child.exc is None
+                   for child in ast.walk(node))
+
+    def check_node(self, node: ast.ExceptHandler,
+                   ctx: FileContext) -> Iterator[Tuple[ast.AST, str]]:
+        if node.type is None:
+            yield node, ("bare except: catches SystemExit and "
+                         "KeyboardInterrupt; name the exception "
+                         "family this code can actually handle")
+        elif ctx.qualname(node.type) == "BaseException" and \
+                not self._reraises(node):
+            yield node, ("except BaseException: without re-raising "
+                         "catches interpreter exits; re-raise, or "
+                         "catch Exception / a ReproError family")
+
+
+class SwallowedExceptionRule(Rule):
+    """E302: an except body must *do* something with the failure.
+
+    A handler whose entire body is ``pass`` (or ``...``) erases the
+    error and every bit of evidence it existed.  Count it, log it,
+    re-raise it, or fold the fallback logic into the handler itself;
+    genuinely best-effort paths spell the intent out with
+    ``contextlib.suppress(SpecificError)``.
+    """
+
+    rule_id = "E302"
+    family = "contracts"
+    title = "swallowed exception"
+    node_types = (ast.ExceptHandler,)
+
+    def check_node(self, node: ast.ExceptHandler,
+                   ctx: FileContext) -> Iterator[Tuple[ast.AST, str]]:
+        body = node.body
+        if len(body) == 1 and (
+                isinstance(body[0], ast.Pass) or
+                (isinstance(body[0], ast.Expr) and
+                 isinstance(body[0].value, ast.Constant) and
+                 body[0].value.value is Ellipsis)):
+            yield node, ("exception swallowed by an empty handler; "
+                         "record it, re-raise, or move the fallback "
+                         "into the handler body")
+
+
+class CliErrorTypeRule(Rule):
+    """E303: the CLI layer raises only ``ReproError`` subclasses.
+
+    ``repro.cli.main`` maps ``ReproError`` families to exit codes and a
+    one-line stderr message; any other exception type escapes as a raw
+    traceback with exit code 1, which scripted pipelines cannot branch
+    on.  Applies to the modules configured as ``cli-modules``.
+    """
+
+    rule_id = "E303"
+    family = "contracts"
+    title = "non-ReproError raise in the CLI layer"
+    node_types = (ast.Raise,)
+
+    def __init__(self) -> None:
+        self._allowed = repro_error_names() | CLI_EXEMPT_RAISES
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return path_matches(ctx.path, ctx.config.cli_modules)
+
+    def check_node(self, node: ast.Raise,
+                   ctx: FileContext) -> Iterator[Tuple[ast.AST, str]]:
+        if node.exc is None:  # re-raise keeps the original contract
+            return
+        target = node.exc.func if isinstance(node.exc, ast.Call) \
+            else node.exc
+        qual = ctx.qualname(target)
+        if qual is None:  # raising a computed object; can't tell
+            return
+        name = qual.rpartition(".")[2]
+        if name not in self._allowed:
+            yield node, (f"raise {name} from the CLI layer; raise a "
+                         f"ReproError subclass so the exit-code table "
+                         f"stays truthful")
+
+
+class ExitCodeTableRule(Rule):
+    """E304: literal exit codes must come from the documented table.
+
+    ``docs/robustness.md`` maps each ``ReproError`` family to one code;
+    an undocumented ``sys.exit(3)`` silently forks that contract.
+    Computed codes (``sys.exit(main())``) are trusted.
+    """
+
+    rule_id = "E304"
+    family = "contracts"
+    title = "undocumented literal exit code"
+    node_types = (ast.Call,)
+
+    def check_node(self, node: ast.Call,
+                   ctx: FileContext) -> Iterator[Tuple[ast.AST, str]]:
+        if ctx.qualname(node.func) not in ("sys.exit", "os._exit"):
+            return
+        if len(node.args) != 1 or node.keywords:
+            return
+        code = node.args[0]
+        if isinstance(code, ast.Constant) and \
+                isinstance(code.value, int) and \
+                not isinstance(code.value, bool) and \
+                code.value not in ctx.config.exit_codes:
+            yield node, (f"exit code {code.value} is not in the "
+                         f"documented ReproError table "
+                         f"(docs/robustness.md); add it there or map "
+                         f"through exit_code_for()")

@@ -1,0 +1,118 @@
+"""API-hygiene rules (``A4xx``, project half): documentation integrity.
+
+These are the two checks migrated from ``check_docs.py``: markdown
+links must resolve (``A402``) and ``docs/cli.md`` must mention every
+subcommand and long option the real argparse parser defines (``A403``).
+They are :class:`~tools.analysis.core.ProjectRule` passes — they look
+at repo artifacts rather than one Python AST.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import Iterator, List, Tuple
+
+from ..core import Project, ProjectRule
+
+LINK_RE = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+
+
+def _markdown_files(project: Project) -> List[str]:
+    """Repo-relative markdown surfaces named by ``doc-files``."""
+    files: List[str] = []
+    for entry in project.config.doc_files:
+        absolute = os.path.join(project.root, entry)
+        if os.path.isdir(absolute):
+            files += [os.path.join(entry, name)
+                      for name in sorted(os.listdir(absolute))
+                      if name.endswith(".md")]
+        elif os.path.exists(absolute):
+            files.append(entry)
+    return sorted(files)
+
+
+class DocLinkRule(ProjectRule):
+    """A402: every relative markdown link points at an existing file."""
+
+    rule_id = "A402"
+    family = "hygiene"
+    title = "broken markdown link"
+
+    def check_project(self,
+                      project: Project) -> Iterator[Tuple[str, int, str]]:
+        for relative in _markdown_files(project):
+            absolute = os.path.join(project.root, relative)
+            base = os.path.dirname(absolute)
+            with open(absolute) as handle:
+                lines = handle.read().splitlines()
+            for number, line in enumerate(lines, start=1):
+                for target in LINK_RE.findall(line):
+                    if "://" in target or target.startswith("#") or \
+                            target.startswith("mailto:"):
+                        continue
+                    resolved = os.path.normpath(os.path.join(
+                        base, target.split("#", 1)[0]))
+                    if not os.path.exists(resolved):
+                        yield relative, number, \
+                            f"broken link -> {target}"
+
+
+class CliReferenceRule(ProjectRule):
+    """A403: ``docs/cli.md`` documents the full argparse surface.
+
+    Imports the real parser from :mod:`repro.cli` so the reference
+    cannot silently rot when subcommands or flags are added.
+    """
+
+    rule_id = "A403"
+    family = "hygiene"
+    title = "CLI reference incomplete"
+
+    REFERENCE = os.path.join("docs", "cli.md")
+
+    @staticmethod
+    def _long_options(parser) -> List[str]:
+        options = []
+        for action in parser._actions:
+            options += [option for option in action.option_strings
+                        if option.startswith("--") and option != "--help"]
+        return options
+
+    def check_project(self,
+                      project: Project) -> Iterator[Tuple[str, int, str]]:
+        import argparse
+
+        reference_path = os.path.join(project.root, self.REFERENCE)
+        if not os.path.exists(reference_path):
+            return
+        source = os.path.join(project.root, "src")
+        if source not in sys.path:
+            sys.path.insert(0, source)
+        try:
+            from repro.cli import _build_parser
+        except ImportError:
+            yield self.REFERENCE, 1, \
+                "cannot import repro.cli to cross-check the reference"
+            return
+        with open(reference_path) as handle:
+            reference = handle.read()
+        parser = _build_parser()
+        for action in parser._actions:
+            if isinstance(action, argparse._SubParsersAction):
+                for name in sorted(action.choices):
+                    sub = action.choices[name]
+                    if f"`{name}`" not in reference:
+                        yield self.REFERENCE, 1, \
+                            f"subcommand {name!r} undocumented"
+                    for option in self._long_options(sub):
+                        if option not in reference:
+                            yield self.REFERENCE, 1, \
+                                f"{name} option {option} undocumented"
+            else:
+                for option in action.option_strings:
+                    if option.startswith("--") and option != "--help" \
+                            and option not in reference:
+                        yield self.REFERENCE, 1, \
+                            f"global option {option} undocumented"

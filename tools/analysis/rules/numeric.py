@@ -1,0 +1,170 @@
+"""Numerical-safety rules (``N2xx``): the float pitfalls that corrupt
+side-channel statistics silently.
+
+EMSim's per-cycle model is least-squares over long float arrays; the
+failure modes that matter here are exact float comparison (Eq. 5-9
+coefficients are never exactly equal), division by data-dependent
+aggregates (an empty coverage group or an all-zero window is a crash or
+an ``inf`` that poisons a whole campaign), and dtype downcasts that
+quietly shave mantissa bits off hot arrays.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from ..core import FileContext, Rule
+
+#: aggregate builtins whose result is zero for degenerate input.
+AGGREGATE_NAME_FNS = frozenset({"len", "sum"})
+
+#: method spellings of the same aggregates (``x.sum()``, ``x.std()``).
+AGGREGATE_METHODS = frozenset({"sum", "std", "var", "mean", "ptp"})
+
+#: numpy spellings (resolved through import aliases).
+AGGREGATE_NP_FNS = frozenset({
+    "numpy.sum", "numpy.std", "numpy.var", "numpy.mean", "numpy.ptp",
+    "numpy.count_nonzero", "numpy.linalg.norm",
+})
+
+#: dtype spellings that narrow float64/int64 arrays.
+NARROW_DTYPES = frozenset({
+    "numpy.float16", "numpy.float32", "numpy.int8", "numpy.int16",
+    "numpy.int32", "numpy.uint8", "numpy.uint16", "numpy.uint32",
+})
+
+#: string forms of the same dtypes (including struct-style codes).
+NARROW_DTYPE_STRINGS = frozenset({
+    "float16", "float32", "int8", "int16", "int32", "uint8", "uint16",
+    "uint32", "f2", "f4", "i1", "i2", "i4", "u1", "u2", "u4",
+    "<f2", "<f4", "<i1", "<i2", "<i4", "<u1", "<u2", "<u4",
+    ">f2", ">f4", ">i1", ">i2", ">i4", ">u1", ">u2", ">u4",
+})
+
+
+class FloatEqualityRule(Rule):
+    """N201: no ``==`` / ``!=`` against float literals.
+
+    Computed floats are almost never exactly equal to a literal; use a
+    tolerance (``math.isclose`` / ``np.isclose``) or an ordered
+    comparison.  Where exact equality *is* well defined (values that
+    are exact integer counts stored as floats), suppress with a reason.
+    """
+
+    rule_id = "N201"
+    family = "numerical"
+    title = "exact float comparison"
+    node_types = (ast.Compare,)
+
+    def check_node(self, node: ast.Compare,
+                   ctx: FileContext) -> Iterator[Tuple[ast.AST, str]]:
+        operands = [node.left] + list(node.comparators)
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side in (left, right):
+                if isinstance(side, ast.Constant) and \
+                        isinstance(side.value, float):
+                    yield node, (f"exact {'==' if isinstance(op, ast.Eq) else '!='} "
+                                 f"against float literal {side.value!r}; "
+                                 f"use a tolerance or an ordered "
+                                 f"comparison")
+                    break
+
+
+class AggregateDivisionRule(Rule):
+    """N202: don't divide by an aggregate call inline.
+
+    ``x / len(y)``, ``x / np.sum(w)``, ``x /= k.sum()`` crash (or go
+    ``inf``) the moment the aggregate is zero.  The sanctioned pattern
+    is to bind the aggregate to a name and guard it (raise, clamp, or
+    early-return) — or to wrap the division in ``with np.errstate`` when
+    propagating non-finite values is the intended semantics.
+    """
+
+    rule_id = "N202"
+    family = "numerical"
+    title = "division by unguarded aggregate"
+    node_types = (ast.BinOp, ast.AugAssign)
+
+    def _aggregate_call(self, node: ast.AST,
+                        ctx: FileContext) -> Optional[str]:
+        if not isinstance(node, ast.Call):
+            return None
+        qual = ctx.qualname(node.func)
+        if qual in AGGREGATE_NAME_FNS or qual in AGGREGATE_NP_FNS:
+            return qual
+        if isinstance(node.func, ast.Attribute) and \
+                node.func.attr in AGGREGATE_METHODS and not node.args:
+            return f"*.{node.func.attr}"
+        return None
+
+    def check_node(self, node: ast.AST,
+                   ctx: FileContext) -> Iterator[Tuple[ast.AST, str]]:
+        if isinstance(node, ast.BinOp):
+            op, denominator = node.op, node.right
+        else:
+            op, denominator = node.op, node.value
+        if not isinstance(op, (ast.Div, ast.FloorDiv)):
+            return
+        if ctx.in_errstate(node.lineno):
+            return
+        label = self._aggregate_call(denominator, ctx)
+        if label is not None:
+            yield node, (f"division by {label}(...) with no zero guard; "
+                         f"bind it to a name and guard it, or wrap the "
+                         f"division in np.errstate")
+
+
+class DtypeDowncastRule(Rule):
+    """N203: narrowing dtype conversions must be explicit about safety.
+
+    ``astype(np.float32)`` and friends silently drop precision (or
+    wrap integers).  Pass ``casting=`` to state the intent, widen
+    instead, or suppress with a reason proving the values fit.
+    """
+
+    rule_id = "N203"
+    family = "numerical"
+    title = "silent dtype downcast"
+    node_types = (ast.Call,)
+
+    def _narrow_dtype(self, node: ast.AST,
+                      ctx: FileContext) -> Optional[str]:
+        if isinstance(node, ast.Constant) and \
+                isinstance(node.value, str) and \
+                node.value in NARROW_DTYPE_STRINGS:
+            return node.value
+        qual = ctx.qualname(node)
+        if qual in NARROW_DTYPES:
+            return qual
+        return None
+
+    def check_node(self, node: ast.Call,
+                   ctx: FileContext) -> Iterator[Tuple[ast.AST, str]]:
+        if any(kw.arg == "casting" for kw in node.keywords):
+            return
+        # x.astype(<narrow>)
+        if isinstance(node.func, ast.Attribute) and \
+                node.func.attr == "astype" and node.args:
+            narrow = self._narrow_dtype(node.args[0], ctx)
+            if narrow:
+                yield node, (f"astype({narrow}) narrows silently; pass "
+                             f"casting= or suppress with a proof the "
+                             f"values fit")
+            return
+        # np.asarray(..., dtype=<narrow>) / np.array / np.zeros ...
+        qual = ctx.qualname(node.func)
+        if qual in ("numpy.asarray", "numpy.array", "numpy.frombuffer",
+                    "numpy.fromiter"):
+            for keyword in node.keywords:
+                if keyword.arg == "dtype":
+                    narrow = self._narrow_dtype(keyword.value, ctx)
+                    if narrow:
+                        yield node, (f"{qual}(dtype={narrow}) narrows "
+                                     f"silently; widen or suppress with "
+                                     f"a proof the values fit")
+        elif qual in NARROW_DTYPES and len(node.args) == 1:
+            yield node, (f"{qual}(...) narrows silently; widen or "
+                         f"suppress with a proof the value fits")

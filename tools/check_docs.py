@@ -1,110 +1,32 @@
 #!/usr/bin/env python
-"""Documentation build/consistency gate (no external deps).
+"""DEPRECATED shim: the docs gate moved into the analyzer.
 
-Two checks, run by ``make docs`` / ``make check``:
-
-1. **Link resolution** — every relative markdown link in ``README.md``
-   and ``docs/*.md`` must point at an existing file (anchors are
-   stripped; absolute URLs are skipped).
-
-2. **CLI reference completeness** — ``docs/cli.md`` must mention every
-   subcommand and every long option the actual argparse parser in
-   :mod:`repro.cli` defines, so the reference cannot silently rot when
-   flags are added.
-
-Exit code 1 with a per-problem listing on any failure.
+The historical ``make docs`` entry point now delegates to the ``A402``
+(markdown link resolution) and ``A403`` (CLI reference completeness)
+passes of ``python -m tools.analysis``.  This wrapper keeps the old
+exit-code contract (0 ok / 1 findings) for one release and will then be
+removed — call ``python -m tools.analysis --select A402,A403``
+directly instead.
 """
 
 from __future__ import annotations
 
 import os
-import re
 import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+sys.path.insert(0, REPO_ROOT)
 
-LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
-
-
-def _markdown_files():
-    files = [os.path.join(REPO_ROOT, "README.md")]
-    docs = os.path.join(REPO_ROOT, "docs")
-    files += [os.path.join(docs, name) for name in sorted(os.listdir(docs))
-              if name.endswith(".md")]
-    return files
+from tools.analysis.cli import main  # noqa: E402
 
 
-def check_links() -> list:
-    """Every relative markdown link must resolve to a real file."""
-    problems = []
-    for path in _markdown_files():
-        base = os.path.dirname(path)
-        with open(path) as handle:
-            text = handle.read()
-        for target in LINK.findall(text):
-            if "://" in target or target.startswith("#") or \
-                    target.startswith("mailto:"):
-                continue
-            resolved = os.path.normpath(
-                os.path.join(base, target.split("#", 1)[0]))
-            if not os.path.exists(resolved):
-                problems.append(
-                    f"{os.path.relpath(path, REPO_ROOT)}: broken link "
-                    f"-> {target}")
-    return problems
-
-
-def check_cli_reference() -> list:
-    """docs/cli.md must mention every subcommand and long option."""
-    import argparse
-
-    from repro.cli import _build_parser
-
-    with open(os.path.join(REPO_ROOT, "docs", "cli.md")) as handle:
-        reference = handle.read()
-    problems = []
-    parser = _build_parser()
-    for action in parser._actions:
-        if isinstance(action, argparse._SubParsersAction):
-            for name, sub in action.choices.items():
-                if f"`{name}`" not in reference:
-                    problems.append(f"docs/cli.md: subcommand {name!r} "
-                                    f"undocumented")
-                for option in _long_options(sub):
-                    if option not in reference:
-                        problems.append(f"docs/cli.md: {name} option "
-                                        f"{option} undocumented")
-        else:
-            for option in action.option_strings:
-                if option.startswith("--") and option != "--help" and \
-                        option not in reference:
-                    problems.append(f"docs/cli.md: global option "
-                                    f"{option} undocumented")
-    return problems
-
-
-def _long_options(parser) -> list:
-    options = []
-    for action in parser._actions:
-        options += [option for option in action.option_strings
-                    if option.startswith("--") and option != "--help"]
-    return options
-
-
-def main() -> int:
-    problems = check_links() + check_cli_reference()
-    for problem in problems:
-        print(problem)
-    checked = len(_markdown_files())
-    if problems:
-        print(f"docs check: {len(problems)} problem(s) across "
-              f"{checked} file(s)")
-        return 1
-    print(f"docs check: {checked} markdown file(s), all links resolve, "
-          f"CLI reference complete")
-    return 0
+def run() -> int:
+    """Delegate to the A402/A403 passes with the legacy exit codes."""
+    print("check_docs.py is deprecated; use "
+          "`python -m tools.analysis --select A402,A403` (docs/"
+          "static-analysis.md)", file=sys.stderr)
+    return 1 if main(["--select", "A402,A403"]) else 0
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(run())

@@ -1,136 +1,33 @@
 #!/usr/bin/env python
-"""Docstring-coverage gate for the public API (no external deps).
+"""DEPRECATED shim: the docstring gate moved into the analyzer.
 
-Walks the configured packages with :mod:`ast` and counts docstrings on
-every *public* module, class, method, and function (names not starting
-with ``_``, except ``__init__``/``__call__`` which are exempt — their
-class docstring covers them).  Fails (exit 1) when coverage in any
-configured package drops below the configured threshold, and always
-prints the per-package tally plus every missing definition, so the gate
-doubles as a to-do list.
-
-Configuration lives in ``pyproject.toml``::
-
-    [tool.repro.docstrings]
-    fail-under = 100.0
-    packages = ["src/repro/core", "src/repro/signal"]
-    modules = ["src/repro/core/regression.py"]
-
-``packages`` entries are walked recursively; ``modules`` entries pin
-individual files, so a module stays gated at the threshold even if its
-package is later dropped from (or loosened in) ``packages``.
-
-Run directly (``python tools/check_docstrings.py``) or via
-``make docstrings`` / ``make check``.
+The historical ``make docstrings`` entry point now delegates to the
+``A401`` pass of ``python -m tools.analysis`` (same traversal, same
+public-name policy, same ``[tool.repro.docstrings]`` package list) so
+there is one analyzer, one suppression syntax, and one baseline.  This
+wrapper keeps the old exit-code contract (0 ok / 1 findings) for one
+release and will then be removed — call
+``python -m tools.analysis --select A401`` directly instead.
 """
 
 from __future__ import annotations
 
-import ast
 import os
 import sys
-import tomllib
-from dataclasses import dataclass, field
-from typing import Iterator, List, Tuple
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, REPO_ROOT)
 
-DEFAULT_CONFIG = {
-    "fail-under": 100.0,
-    "packages": ["src/repro/core", "src/repro/signal"],
-    "modules": [],
-}
+from tools.analysis.cli import main  # noqa: E402
 
 
-def load_config() -> dict:
-    """Read ``[tool.repro.docstrings]`` from pyproject.toml."""
-    path = os.path.join(REPO_ROOT, "pyproject.toml")
-    with open(path, "rb") as handle:
-        document = tomllib.load(handle)
-    config = dict(DEFAULT_CONFIG)
-    config.update(document.get("tool", {})
-                  .get("repro", {}).get("docstrings", {}))
-    return config
-
-
-@dataclass
-class Report:
-    """Docstring tally for one package directory."""
-
-    package: str
-    total: int = 0
-    documented: int = 0
-    missing: List[str] = field(default_factory=list)
-
-    @property
-    def coverage(self) -> float:
-        return 100.0 * self.documented / self.total if self.total else 100.0
-
-
-def _is_public(name: str) -> bool:
-    return not name.startswith("_")
-
-
-def _definitions(tree: ast.Module) -> Iterator[Tuple[str, ast.AST]]:
-    """Yield (dotted name, node) for every public definition to check."""
-    yield "<module>", tree
-    for node in tree.body:
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            if _is_public(node.name):
-                yield node.name, node
-        elif isinstance(node, ast.ClassDef) and _is_public(node.name):
-            yield node.name, node
-            for child in node.body:
-                if isinstance(child, (ast.FunctionDef,
-                                      ast.AsyncFunctionDef)) and \
-                        _is_public(child.name):
-                    yield f"{node.name}.{child.name}", child
-
-
-def _check_file(path: str, report: Report) -> None:
-    """Tally one ``.py`` file's public definitions into ``report``."""
-    relative = os.path.relpath(path, REPO_ROOT)
-    with open(path) as handle:
-        tree = ast.parse(handle.read(), filename=relative)
-    for name, node in _definitions(tree):
-        report.total += 1
-        if ast.get_docstring(node):
-            report.documented += 1
-        else:
-            report.missing.append(f"{relative}: {name}")
-
-
-def check_package(package: str) -> Report:
-    """Docstring coverage over ``package``: a directory tree or one file."""
-    report = Report(package=package)
-    root = os.path.join(REPO_ROOT, package)
-    if os.path.isfile(root):
-        _check_file(root, report)
-        return report
-    for directory, _, files in sorted(os.walk(root)):
-        for filename in sorted(files):
-            if filename.endswith(".py"):
-                _check_file(os.path.join(directory, filename), report)
-    return report
-
-
-def main() -> int:
-    config = load_config()
-    threshold = float(config["fail-under"])
-    failed = False
-    for package in list(config["packages"]) + list(config.get("modules",
-                                                              [])):
-        report = check_package(package)
-        status = "ok" if report.coverage >= threshold else "FAIL"
-        print(f"{report.package}: {report.documented}/{report.total} "
-              f"documented ({report.coverage:.1f}%, "
-              f"threshold {threshold:.1f}%) {status}")
-        for missing in report.missing:
-            print(f"  missing: {missing}")
-        if report.coverage < threshold:
-            failed = True
-    return 1 if failed else 0
+def run() -> int:
+    """Delegate to the A401 analyzer pass with the legacy exit codes."""
+    print("check_docstrings.py is deprecated; use "
+          "`python -m tools.analysis --select A401` (docs/"
+          "static-analysis.md)", file=sys.stderr)
+    return 1 if main(["--select", "A401"]) else 0
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(run())
