@@ -25,16 +25,19 @@ docstrings:
 docs:
 	$(PYTHON) tools/check_docs.py
 
-# Not part of `check` (runs ~1 min): the sequential-vs-batched campaign
-# benchmark (BENCH_sim.json) and the model-building fast-path benchmark
-# (BENCH_train.json) under benchmarks/results/.
+# Not part of `check` (runs a few minutes): the sequential-vs-batched
+# campaign benchmark (BENCH_sim.json), the model-building fast-path
+# benchmark (BENCH_train.json), and the supervised-campaign
+# survival/resume benchmark (BENCH_resume.json) under
+# benchmarks/results/.
 bench:
 	cd benchmarks && $(PYTHON) -m pytest test_perf_campaign.py \
-		test_perf_training.py -x -q
+		test_perf_training.py test_robustness_resume.py -x -q
 
-# Tiny-size smoke run of the training benchmark (seconds, not minutes);
-# writes BENCH_train.quick.json so the committed full-size artifact is
+# Tiny-size smoke runs of the training and resume benchmarks (seconds,
+# not minutes); they write BENCH_train.quick.json /
+# BENCH_resume.quick.json so the committed full-size artifacts are
 # never clobbered.
 bench-quick:
 	cd benchmarks && REPRO_BENCH_QUICK=1 $(PYTHON) -m pytest \
-		test_perf_training.py -x -q
+		test_perf_training.py test_robustness_resume.py -x -q

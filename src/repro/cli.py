@@ -24,6 +24,7 @@ cache.  The full reference lives in ``docs/cli.md``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
@@ -33,21 +34,47 @@ from .core import (EMSim, Trainer, coverage_groups, load_model,
 from .hardware import BOARDS, HardwareDevice
 from .isa import assemble
 from .leakage import SimulatorSignalSource, savat_matrix
+from .parallel import resolve_workers
 from .profiling import enable_profiling, get_profiler, write_bench_json
 from .robustness import ConfigurationError, FaultPlan, ReproError
 from .signal import simulation_accuracy
 from .uarch import DEFAULT_CONFIG
 
+# ``--workers`` is deliberately left untyped at the argparse layer:
+# validation happens inside the command handlers via
+# ``resolve_workers`` so a bad value (``--workers=fast``) exits with
+# the ConfigurationError code (16) and a precise message, instead of
+# argparse's generic usage error (2).
 
-def _workers_arg(value: str):
-    """argparse type for ``--workers``: a positive int or ``auto``."""
-    if value == "auto":
-        return value
-    try:
-        return int(value)
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            f"expected an integer or 'auto', got {value!r}")
+
+def _checkpoint_path(directory: Optional[str],
+                     name: str) -> Optional[str]:
+    """Journal file for one campaign under ``--checkpoint-dir``."""
+    if directory is None:
+        return None
+    return os.path.join(directory, f"{name}.jsonl")
+
+
+def _add_supervision_flags(command: argparse.ArgumentParser) -> None:
+    """The shared campaign-supervision flags (train/savat/bench)."""
+    command.add_argument("--item-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-item wall-clock deadline; a worker "
+                              "stuck past it is killed and the item "
+                              "retried (default: no deadline)")
+    command.add_argument("--max-item-retries", type=int, default=2,
+                         help="failed attempts one item may accumulate "
+                              "(crash, timeout, or error) before it is "
+                              "quarantined")
+    command.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                         help="journal completed campaign items to "
+                              "this directory so an interrupted run "
+                              "can resume")
+    command.add_argument("--resume", action="store_true",
+                         help="resume from the journal in "
+                              "--checkpoint-dir, skipping completed "
+                              "items (bit-identical to an "
+                              "uninterrupted run)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -85,7 +112,7 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument("--strict", action="store_true",
                        help="fail instead of degrading to the ideal "
                             "grid when a probe cannot be captured")
-    train.add_argument("--workers", type=_workers_arg, default=1,
+    train.add_argument("--workers", default="1",
                        help="worker processes for probe captures "
                             "(int or 'auto'; 1 = exact sequential path)")
     train.add_argument("--legacy-fit", action="store_true",
@@ -93,6 +120,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             "building path instead of the Gram/sweep "
                             "fast path (results are identical; this "
                             "exists for cross-checking)")
+    _add_supervision_flags(train)
 
     simulate = commands.add_parser(
         "simulate", help="simulate the EM signal of an assembly program")
@@ -107,7 +135,7 @@ def _build_parser() -> argparse.ArgumentParser:
     accuracy.add_argument("--groups", type=int, default=2)
     accuracy.add_argument("--board", default="de0-cv",
                           choices=sorted(BOARDS))
-    accuracy.add_argument("--workers", type=_workers_arg, default=1,
+    accuracy.add_argument("--workers", default="1",
                           help="worker processes for the re-simulation "
                                "fan-out (int or 'auto')")
 
@@ -118,9 +146,10 @@ def _build_parser() -> argparse.ArgumentParser:
     savat.add_argument("--matrix", action="store_true",
                        help="compute the full Table-II matrix over all "
                             "six instruction kinds instead of --pairs")
-    savat.add_argument("--workers", type=_workers_arg, default=1,
+    savat.add_argument("--workers", default="1",
                        help="worker processes for the pair sweep "
                             "(int or 'auto')")
+    _add_supervision_flags(savat)
 
     balance = commands.add_parser(
         "balance", help="apply the branch-timing-balancing pass to an "
@@ -144,7 +173,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="instructions per campaign program")
     bench.add_argument("--repetitions", type=int, default=50,
                        help="scope repetitions per reference capture")
-    bench.add_argument("--workers", type=_workers_arg, default=8,
+    bench.add_argument("--workers", default="8",
                        help="worker processes for the batched run "
                             "(int or 'auto'); the baseline always "
                             "runs with 1")
@@ -158,6 +187,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="write the machine-readable report here "
                             "(default: BENCH_sim.json or "
                             "BENCH_train.json, by --mode)")
+    _add_supervision_flags(bench)
     return parser
 
 
@@ -171,13 +201,22 @@ def _cmd_train(args) -> int:
     print(f"training on {device.name} ...")
     if fault_plan is not None:
         print(f"fault injection: {fault_plan.describe()}")
+    checkpoint = _checkpoint_path(args.checkpoint_dir,
+                                  f"train_{args.board}")
     trainer = Trainer(device=device,
                       activity_probes_per_class=args.probes,
                       capture_method=args.capture,
                       repetitions=args.repetitions,
                       strict=args.strict,
-                      workers=args.workers,
-                      fast=not args.legacy_fit)
+                      workers=resolve_workers(args.workers),
+                      fast=not args.legacy_fit,
+                      item_timeout=args.item_timeout,
+                      max_item_retries=args.max_item_retries,
+                      checkpoint=checkpoint,
+                      resume=args.resume)
+    if checkpoint is not None:
+        print(f"checkpoint journal: {checkpoint}"
+              + (" (resuming)" if args.resume else ""))
     model = trainer.train()
     save_model(model, args.out)
     print(model.summary())
@@ -217,7 +256,8 @@ def _cmd_accuracy(args) -> int:
     groups = coverage_groups(group_size=256, seed=7,
                              limit_groups=args.groups)
     group_count = len(groups)
-    simulations = simulator.simulate_many(groups, workers=args.workers)
+    simulations = simulator.simulate_many(
+        groups, workers=resolve_workers(args.workers))
     for group, simulated in zip(groups, simulations):
         measured = device.capture_ideal(group)
         length = min(len(measured.signal), len(simulated.signal))
@@ -249,10 +289,17 @@ def _cmd_savat(args) -> int:
     simulator = EMSim(model, core_config=DEFAULT_CONFIG)
     spc = model.config.samples_per_cycle
     source = SimulatorSignalSource(simulator)
+    workers = resolve_workers(args.workers)
+    supervision = dict(item_timeout=args.item_timeout,
+                       max_item_retries=args.max_item_retries,
+                       checkpoint=_checkpoint_path(args.checkpoint_dir,
+                                                   "savat"),
+                       resume=args.resume)
 
     if args.matrix:
         from .leakage import SAVAT_INSTRUCTIONS, format_matrix
-        matrix = savat_matrix(source, spc, workers=args.workers)
+        matrix = savat_matrix(source, spc, workers=workers,
+                              **supervision)
         print(format_matrix(matrix, SAVAT_INSTRUCTIONS))
         return 0
 
@@ -260,7 +307,8 @@ def _cmd_savat(args) -> int:
     for pair in args.pairs.split(","):
         kind_a, _, kind_b = pair.strip().partition("/")
         pairs.append((kind_a.upper(), kind_b.upper()))
-    matrix = savat_matrix(source, spc, workers=args.workers, pairs=pairs)
+    matrix = savat_matrix(source, spc, workers=workers, pairs=pairs,
+                          **supervision)
     for kind_a, kind_b in pairs:
         print(f"  SAVAT {kind_a}/{kind_b}: "
               f"{matrix[(kind_a, kind_b)]:8.3f}")
@@ -341,11 +389,11 @@ def _bench_train(args) -> int:
 def _cmd_bench(args) -> int:
     import numpy as np
 
-    from .parallel import resolve_workers
     from .workloads.generators import RandomProgramBuilder
 
     if args.mode == "train":
         return _bench_train(args)
+    workers = resolve_workers(args.workers)
     args.out = args.out or "BENCH_sim.json"
     fault_plan = None
     if args.fault_rate > 0:
@@ -367,11 +415,16 @@ def _cmd_bench(args) -> int:
     print(f"  sequential (--workers 1): {sequential_seconds:7.2f} s")
 
     start = time.perf_counter()
-    batched = measurement_campaign(device, programs,
-                                   repetitions=args.repetitions,
-                                   workers=args.workers, seed=args.seed)
+    batched = measurement_campaign(
+        device, programs, repetitions=args.repetitions,
+        workers=workers, seed=args.seed,
+        item_timeout=args.item_timeout,
+        max_item_retries=args.max_item_retries,
+        checkpoint=_checkpoint_path(args.checkpoint_dir,
+                                    f"bench_{args.board}"),
+        resume=args.resume)
     batched_seconds = time.perf_counter() - start
-    print(f"  batched  (--workers {args.workers}): "
+    print(f"  batched  (--workers {workers}): "
           f"{batched_seconds:7.2f} s")
 
     max_diff = 0.0
@@ -393,7 +446,7 @@ def _cmd_bench(args) -> int:
         "seed": args.seed,
         "fault_rate": args.fault_rate,
         "workers_sequential": 1,
-        "workers_batched": resolve_workers(args.workers),
+        "workers_batched": workers,
         "sequential_seconds": sequential_seconds,
         "batched_seconds": batched_seconds,
         "speedup": speedup,

@@ -40,16 +40,21 @@ import numpy as np
 
 from ..hardware.device import HardwareDevice
 from ..isa.program import Program
-from ..parallel import parallel_map, resolve_workers, spawn_seed
+from ..parallel import (CampaignLedger, parallel_map, resolve_workers,
+                        spawn_seed, supervised_map)
 from ..profiling import get_profiler, monotonic
+from ..robustness.checkpoint import CheckpointJournal
+from ..robustness.errors import CampaignError
 from ..robustness.health import CaptureQuality
 from ..signal.kernels import DEFAULT_KERNEL, Kernel
 from ..signal.reconstruction import (batch_estimate_cycle_amplitudes,
                                      batch_reconstruct,
                                      estimate_cycle_amplitudes)
 from .simulator import EMSim, SimulatedSignal
+from .trace_cache import trace_key
 
-__all__ = ["BatchSimulator", "CampaignProbe", "measurement_campaign"]
+__all__ = ["BatchSimulator", "CampaignProbe", "campaign_probe_key",
+           "measurement_campaign", "supervised_campaign"]
 
 
 # Per-process worker state, installed by the pool initializer.  With the
@@ -96,9 +101,13 @@ class BatchSimulator:
     reconstruction performs the same per-trace convolution.
     """
 
-    def __init__(self, simulator: EMSim, workers: int = 1):
+    def __init__(self, simulator: EMSim, workers: int = 1,
+                 item_timeout: Optional[float] = None,
+                 max_item_retries: int = 0):
         self.simulator = simulator
         self.workers = workers
+        self.item_timeout = item_timeout
+        self.max_item_retries = max_item_retries
 
     def simulate_many(self, programs: Sequence,
                       max_cycles: Optional[int] = None
@@ -110,7 +119,9 @@ class BatchSimulator:
             _simulate_item, list(enumerate(programs)),
             workers=self.workers,
             initializer=_simulate_init,
-            initargs=(self.simulator, max_cycles))
+            initargs=(self.simulator, max_cycles),
+            timeout=self.item_timeout,
+            max_item_retries=self.max_item_retries)
         model = self.simulator.model
         samples_per_cycle = model.config.samples_per_cycle
         signals = batch_reconstruct(
@@ -193,6 +204,84 @@ def _campaign_item(item) -> CampaignProbe:
                          deconvolve_seconds=done - captured)
 
 
+def campaign_probe_key(device: HardwareDevice, program: Program,
+                       index: int, seed: int, repetitions: int,
+                       kernel: Kernel, samples_per_cycle: int,
+                       max_cycles: Optional[int], batched: bool) -> str:
+    """Checkpoint key for one campaign probe.
+
+    Built on :func:`~repro.core.trace_cache.trace_key` — the same
+    content hash the trace cache uses for the program/config pair —
+    salted with everything else that determines the probe's result:
+    campaign seed, probe index, repetition count, kernel, sample rate,
+    engine choice, and the device's emitter digest.  A resumed campaign
+    therefore only reuses a journaled probe when rerunning it would be
+    bit-identical anyway.
+    """
+    salt = (f"campaign:{seed}:{index}:{repetitions}:{kernel!r}:"
+            f"{samples_per_cycle}:{batched}:{device.name}:"
+            f"{device._emitter_digest}")
+    return trace_key(program, device.core_config,
+                     core_kind=device.core_kind, max_cycles=max_cycles,
+                     salt=salt)
+
+
+def supervised_campaign(device: HardwareDevice,
+                        programs: Sequence[Program],
+                        repetitions: int = 50,
+                        workers: int = 1,
+                        seed: int = 0,
+                        kernel: Kernel = DEFAULT_KERNEL,
+                        samples_per_cycle: Optional[int] = None,
+                        max_cycles: Optional[int] = None,
+                        item_timeout: Optional[float] = None,
+                        max_item_retries: int = 2,
+                        journal: Optional[CheckpointJournal] = None,
+                        ) -> "tuple[List[Optional[CampaignProbe]], CampaignLedger]":
+    """Supervised measurement campaign: ``(probes, ledger)``.
+
+    The crash-safe core of :func:`measurement_campaign`: probes fan out
+    through :func:`~repro.parallel.supervised_map`, so hung workers are
+    killed at ``item_timeout``, crashed workers indict only the probe
+    they were running, failures retry with seeded backoff, and probes
+    that exhaust ``max_item_retries`` leave a ``None`` slot plus a
+    ledger row instead of sinking the campaign.  With a ``journal``,
+    completed probes are checkpointed under :func:`campaign_probe_key`
+    and a resumed run replays them bit-identically without capturing.
+    """
+    programs = list(programs)
+    effective = resolve_workers(workers)
+    batched = effective > 1
+    if samples_per_cycle is None:
+        samples_per_cycle = device.samples_per_cycle
+
+    def key_for(index: int, item) -> str:
+        _, program = item
+        return campaign_probe_key(device, program, index, seed,
+                                  repetitions, kernel, samples_per_cycle,
+                                  max_cycles, batched)
+
+    probes, ledger = supervised_map(
+        _campaign_item, list(enumerate(programs)),
+        workers=workers,
+        initializer=_campaign_init,
+        initargs=(device, seed, repetitions, max_cycles, kernel,
+                  samples_per_cycle, batched),
+        timeout=item_timeout,
+        max_item_retries=max_item_retries,
+        seed=seed,
+        journal=journal,
+        key_for=key_for if journal is not None else None)
+    profiler = get_profiler()
+    for probe in probes:
+        if probe is None:
+            continue
+        profiler.add_phase("campaign.capture", probe.capture_seconds)
+        profiler.add_phase("campaign.deconvolve", probe.deconvolve_seconds)
+    profiler.count("campaign.programs", len(probes))
+    return probes, ledger
+
+
 def measurement_campaign(device: HardwareDevice,
                          programs: Sequence[Program],
                          repetitions: int = 50,
@@ -200,8 +289,11 @@ def measurement_campaign(device: HardwareDevice,
                          seed: int = 0,
                          kernel: Kernel = DEFAULT_KERNEL,
                          samples_per_cycle: Optional[int] = None,
-                         max_cycles: Optional[int] = None
-                         ) -> List[CampaignProbe]:
+                         max_cycles: Optional[int] = None,
+                         item_timeout: Optional[float] = None,
+                         max_item_retries: int = 2,
+                         checkpoint: Optional[str] = None,
+                         resume: bool = False) -> List[CampaignProbe]:
     """Capture and deconvolve every program on a device bench.
 
     The campaign primitive behind ``repro bench``: each probe runs the
@@ -220,21 +312,40 @@ def measurement_campaign(device: HardwareDevice,
     engines reseed identically per probe, results differ only by the
     batched engine's floating-point reordering: max abs difference is
     well inside 1e-9.
+
+    Supervision (see :func:`supervised_campaign` for the mechanics):
+    ``item_timeout`` bounds each probe's wall clock, failed probes
+    retry up to ``max_item_retries`` times with seeded backoff, and
+    ``checkpoint`` names a journal file that makes the campaign
+    resumable (``resume=True`` replays completed probes from it).
+    This function needs *every* probe, so items still missing after
+    supervision raise :class:`~repro.robustness.errors.CampaignError`
+    (exit code 18) naming the quarantined indices.
     """
-    programs = list(programs)
-    effective = resolve_workers(workers)
-    batched = effective > 1
-    if samples_per_cycle is None:
-        samples_per_cycle = device.samples_per_cycle
-    probes = parallel_map(
-        _campaign_item, list(enumerate(programs)),
-        workers=workers,
-        initializer=_campaign_init,
-        initargs=(device, seed, repetitions, max_cycles, kernel,
-                  samples_per_cycle, batched))
-    profiler = get_profiler()
-    for probe in probes:
-        profiler.add_phase("campaign.capture", probe.capture_seconds)
-        profiler.add_phase("campaign.deconvolve", probe.deconvolve_seconds)
-    profiler.count("campaign.programs", len(probes))
+    programs = list(programs)  # generators must not be consumed twice
+    if checkpoint is not None:
+        meta = {"campaign": "measurement", "device": device.name,
+                "seed": int(seed), "repetitions": int(repetitions),
+                "programs": len(programs)}
+        with CheckpointJournal(checkpoint, meta=meta,
+                               resume=resume) as journal:
+            with journal.guarded():
+                probes, ledger = supervised_campaign(
+                    device, programs, repetitions=repetitions,
+                    workers=workers, seed=seed, kernel=kernel,
+                    samples_per_cycle=samples_per_cycle,
+                    max_cycles=max_cycles, item_timeout=item_timeout,
+                    max_item_retries=max_item_retries, journal=journal)
+    else:
+        probes, ledger = supervised_campaign(
+            device, programs, repetitions=repetitions, workers=workers,
+            seed=seed, kernel=kernel,
+            samples_per_cycle=samples_per_cycle, max_cycles=max_cycles,
+            item_timeout=item_timeout,
+            max_item_retries=max_item_retries)
+    if not ledger.complete:
+        raise CampaignError(
+            f"measurement campaign lost {len(ledger.quarantined)} of "
+            f"{len(probes)} probes ({ledger.summary()})",
+            quarantined=ledger.quarantined)
     return probes

@@ -27,12 +27,15 @@ import numpy as np
 
 from ..hardware.device import HardwareDevice, Measurement
 from ..isa.program import Program
-from ..parallel import parallel_map, resolve_workers, spawn_seed
+from ..parallel import resolve_workers, spawn_seed, supervised_map
 from ..profiling import get_profiler, monotonic
-from ..robustness.errors import ConvergenceError, ProbeError
+from ..robustness.checkpoint import CheckpointJournal
+from ..robustness.errors import (CampaignError, ConvergenceError,
+                                 ProbeError)
 from ..robustness.health import HealthPolicy
 from ..robustness.retry import (AcquisitionStats, CaptureSupervisor,
                                 RetryPolicy)
+from .trace_cache import trace_key
 from ..signal.kernels import DampedSineKernel
 from ..signal.metrics import simulation_accuracy
 from ..signal.reconstruction import estimate_cycle_amplitudes, reconstruct
@@ -184,6 +187,17 @@ class Trainer:
     retry_policy: Optional[RetryPolicy] = None
     strict: bool = False
     robust: object = "auto"
+    # campaign supervision: per-probe wall-clock deadline, bounded
+    # retries with seeded backoff, and an optional checkpoint journal
+    # that makes an interrupted training run resumable.  Setting a
+    # timeout or a checkpoint switches batch captures to the supervised
+    # per-probe-reseeded engine even at ``workers=1`` (hang/crash
+    # detection needs a worker process; resume needs position-stable
+    # seeding) — ideal-grid captures are bit-identical either way.
+    item_timeout: Optional[float] = None
+    max_item_retries: int = 2
+    checkpoint: Optional[str] = None
+    resume: bool = False
     # model-building fast path: Gram-based step-wise selection, the
     # memoized LU deconvolver, and vectorized joint-fit row assembly.
     # ``fast=False`` is the pre-optimization scalar reference (full
@@ -212,6 +226,8 @@ class Trainer:
             log=self._log if self.verbose else None)
         self.report = TrainingReport(robust_fitting=self._robust_enabled)
         self.report.acquisition = self.supervisor.stats
+        self._journal: Optional[CheckpointJournal] = None
+        self._batch_counter = 0
 
     # ------------------------------------------------------------------
     # measurement helpers
@@ -245,20 +261,45 @@ class Trainer:
         trainer's report.
         """
         programs = list(programs)
-        if resolve_workers(self.workers) <= 1 or len(programs) <= 1:
+        supervise = (self._journal is not None or
+                     self.item_timeout is not None)
+        if not supervise and (resolve_workers(self.workers) <= 1
+                              or len(programs) <= 1):
             return [self._measure(program) for program in programs]
+        batch = self._batch_counter
+        self._batch_counter += 1
+
+        def key_for(index: int, item) -> str:
+            _, program = item
+            salt = (f"train:{batch}:{index}:{self.capture_method}:"
+                    f"{self.repetitions}:{self.seed}:"
+                    f"{self.device._emitter_digest}")
+            return trace_key(program, self.device.core_config,
+                             core_kind=self.device.core_kind, salt=salt)
+
         profiler = get_profiler()
         start = monotonic()
-        results = parallel_map(
+        results, ledger = supervised_map(
             _pool_measure, list(enumerate(programs)),
             workers=self.workers,
             initializer=_pool_measure_init,
             initargs=(self.device, self.capture_method, self.repetitions,
                       self.retry_policy or RetryPolicy(seed=self.seed),
                       self.health_policy or HealthPolicy(),
-                      not self.strict, self.seed))
+                      not self.strict, self.seed),
+            timeout=self.item_timeout,
+            max_item_retries=self.max_item_retries,
+            seed=self.seed,
+            journal=self._journal,
+            key_for=key_for if self._journal is not None else None)
         profiler.add_phase("train.capture", monotonic() - start,
                            calls=len(programs))
+        if not ledger.complete:
+            raise CampaignError(
+                f"probe batch {batch} lost {len(ledger.quarantined)} of "
+                f"{len(programs)} captures ({ledger.summary()}); "
+                f"training needs every probe",
+                quarantined=ledger.quarantined)
         measurements: List[Measurement] = []
         for measurement, outcome in results:
             self.supervisor.stats.record(outcome)
@@ -287,7 +328,31 @@ class Trainer:
     # training stages
     # ------------------------------------------------------------------
     def train(self) -> EMSimModel:
-        """Run the full model-building pipeline."""
+        """Run the full model-building pipeline.
+
+        With ``checkpoint`` set, the batch captures journal their
+        results as they complete (flushed on SIGINT/SIGTERM too), and a
+        rerun with ``resume=True`` replays completed probes from the
+        journal — producing bit-identical model coefficients to an
+        uninterrupted run.
+        """
+        if self.checkpoint is None:
+            return self._train_stages()
+        meta = {"campaign": "train", "device": self.device.name,
+                "seed": int(self.seed), "capture": self.capture_method,
+                "repetitions": int(self.repetitions)}
+        self._batch_counter = 0
+        with CheckpointJournal(self.checkpoint, meta=meta,
+                               resume=self.resume) as journal:
+            with journal.guarded():
+                self._journal = journal
+                try:
+                    return self._train_stages()
+                finally:
+                    self._journal = None
+
+    def _train_stages(self) -> EMSimModel:
+        """The five training stages (see the module docstring)."""
         if self.fit_kernel_parameters:
             self._fit_kernel()
         nop_level = self._nop_baseline()

@@ -16,7 +16,9 @@ import numpy as np
 
 from ..isa.instructions import Instruction, NOP
 from ..isa.program import Program
-from ..parallel import parallel_map, resolve_workers
+from ..parallel import resolve_workers, supervised_map
+from ..robustness.checkpoint import CheckpointJournal, content_key
+from ..robustness.errors import CampaignError
 from ..signal.spectrum import harmonic_energy
 from ..workloads.generators import wrap_program
 
@@ -180,7 +182,11 @@ def savat_matrix(signal_source: Callable[[Program],
                  repeats: int = 12,
                  burst: int = 24,
                  workers: int = 1,
-                 pairs: "Sequence[Tuple[str, str]] | None" = None
+                 pairs: "Sequence[Tuple[str, str]] | None" = None,
+                 item_timeout: "float | None" = None,
+                 max_item_retries: int = 2,
+                 checkpoint: "str | None" = None,
+                 resume: bool = False
                  ) -> Dict[Tuple[str, str], float]:
     """The full Table-II matrix of SAVAT values for all ordered pairs.
 
@@ -189,21 +195,55 @@ def savat_matrix(signal_source: Callable[[Program],
     same pair order); ``workers=1`` is the plain nested loop.  An
     explicit ``pairs`` sequence restricts the sweep to those ordered
     pairs (the CLI's ``--pairs``) instead of the full ``kinds`` square.
+
+    The fan-out is supervised (see :mod:`repro.parallel`):
+    ``item_timeout`` bounds each pair's wall clock, failures retry up
+    to ``max_item_retries`` times with seeded backoff, and
+    ``checkpoint`` names a journal file (``resume=True`` replays
+    completed pairs from it).  Table II needs every cell, so a pair
+    still missing after supervision raises
+    :class:`~repro.robustness.errors.CampaignError`.
     """
     if pairs is None:
         pairs = [(kind_a, kind_b) for kind_a in kinds for kind_b in kinds]
     else:
         pairs = list(pairs)
-    if resolve_workers(workers) <= 1:
+    supervise = item_timeout is not None or checkpoint is not None
+    if not supervise and resolve_workers(workers) <= 1:
         measurements = [savat_pair(signal_source, kind_a, kind_b,
                                    samples_per_cycle, repeats=repeats,
                                    burst=burst)
                         for kind_a, kind_b in pairs]
-    else:
-        measurements = parallel_map(
+        return {(m.kind_a, m.kind_b): m.value for m in measurements}
+
+    def key_for(index: int, pair: Tuple[str, str]) -> str:
+        return content_key("savat", pair[0], pair[1], repeats, burst,
+                           samples_per_cycle)
+
+    def run(journal: "CheckpointJournal | None") -> "tuple[list, object]":
+        return supervised_map(
             _matrix_pair, pairs, workers=workers,
             initializer=_matrix_init,
-            initargs=(signal_source, samples_per_cycle, repeats, burst))
+            initargs=(signal_source, samples_per_cycle, repeats, burst),
+            timeout=item_timeout, max_item_retries=max_item_retries,
+            journal=journal,
+            key_for=key_for if journal is not None else None)
+
+    if checkpoint is not None:
+        meta = {"campaign": "savat", "repeats": int(repeats),
+                "burst": int(burst),
+                "samples_per_cycle": int(samples_per_cycle)}
+        with CheckpointJournal(checkpoint, meta=meta,
+                               resume=resume) as journal:
+            with journal.guarded():
+                measurements, ledger = run(journal)
+    else:
+        measurements, ledger = run(None)
+    if not ledger.complete:
+        raise CampaignError(
+            f"SAVAT sweep lost {len(ledger.quarantined)} of "
+            f"{len(pairs)} pairs ({ledger.summary()})",
+            quarantined=ledger.quarantined)
     return {(m.kind_a, m.kind_b): m.value for m in measurements}
 
 

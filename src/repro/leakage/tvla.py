@@ -13,7 +13,9 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
-from ..parallel import parallel_map, resolve_workers
+from ..parallel import resolve_workers, supervised_map
+from ..robustness.checkpoint import CheckpointJournal, content_key
+from ..robustness.errors import CampaignError
 
 TVLA_THRESHOLD = 4.5
 """The conventional TVLA significance threshold."""
@@ -119,7 +121,11 @@ def collect_tvla_traces(trace_source: Callable[[Sequence[int]], np.ndarray],
                         num_traces: int,
                         rng: np.random.Generator,
                         input_length: Optional[int] = None,
-                        workers: int = 1
+                        workers: int = 1,
+                        item_timeout: Optional[float] = None,
+                        max_item_retries: int = 2,
+                        checkpoint: Optional[str] = None,
+                        resume: bool = False
                         ) -> "tuple[List[np.ndarray], List[np.ndarray]]":
     """Drive a trace source with fixed vs random inputs.
 
@@ -129,15 +135,50 @@ def collect_tvla_traces(trace_source: Callable[[Sequence[int]], np.ndarray],
     runs once per input — with ``workers > 1`` the runs fan out over a
     process pool (ordered and deterministic for deterministic sources,
     e.g. EMSim).
+
+    The fan-out is supervised (see :mod:`repro.parallel`):
+    ``item_timeout`` bounds each collection's wall clock, failures
+    retry up to ``max_item_retries`` times, and ``checkpoint`` names a
+    journal file (``resume=True`` replays completed traces from it) so
+    an interrupted assessment resumes with bit-identical t-traces.  A
+    trace lost after supervision raises
+    :class:`~repro.robustness.errors.CampaignError` — TVLA's group
+    statistics need every trace.
     """
     input_length = input_length or len(fixed_input)
     inputs = [list(fixed_input) for _ in range(num_traces)]
     inputs += [list(rng.integers(0, 256, size=input_length))
                for _ in range(num_traces)]
-    if resolve_workers(workers) <= 1:
+    supervise = item_timeout is not None or checkpoint is not None
+    if not supervise and resolve_workers(workers) <= 1:
         traces = [trace_source(value) for value in inputs]
+        return traces[:num_traces], traces[num_traces:]
+
+    def key_for(index: int, value: "List[int]") -> str:
+        return content_key("tvla", index, bytes(bytearray(
+            byte % 256 for byte in value)))
+
+    def run(journal: Optional[CheckpointJournal]
+            ) -> "tuple[list, object]":
+        return supervised_map(
+            _collect_trace, inputs, workers=workers,
+            initializer=_collect_init, initargs=(trace_source,),
+            timeout=item_timeout, max_item_retries=max_item_retries,
+            journal=journal,
+            key_for=key_for if journal is not None else None)
+
+    if checkpoint is not None:
+        meta = {"campaign": "tvla", "traces": int(num_traces),
+                "input_length": int(input_length)}
+        with CheckpointJournal(checkpoint, meta=meta,
+                               resume=resume) as journal:
+            with journal.guarded():
+                traces, ledger = run(journal)
     else:
-        traces = parallel_map(_collect_trace, inputs, workers=workers,
-                              initializer=_collect_init,
-                              initargs=(trace_source,))
+        traces, ledger = run(None)
+    if not ledger.complete:
+        raise CampaignError(
+            f"TVLA collection lost {len(ledger.quarantined)} of "
+            f"{len(inputs)} traces ({ledger.summary()})",
+            quarantined=ledger.quarantined)
     return traces[:num_traces], traces[num_traces:]

@@ -30,7 +30,7 @@ from typing import Dict, Iterator, Optional
 
 __all__ = ["PhaseStat", "Profiler", "get_profiler", "enable_profiling",
            "disable_profiling", "monotonic", "write_bench_json",
-           "BENCH_SCHEMA"]
+           "BENCH_SCHEMA", "SUPERVISION_COUNTERS", "supervision_counts"]
 
 
 def monotonic() -> float:
@@ -47,6 +47,39 @@ def monotonic() -> float:
 
 BENCH_SCHEMA = "repro-bench/1"
 """Schema tag stamped into every ``BENCH_sim.json`` this package writes."""
+
+SUPERVISION_COUNTERS = (
+    "supervise.retries",
+    "supervise.timeouts",
+    "supervise.crashes",
+    "supervise.failures",
+    "supervise.rebuilds",
+    "supervise.quarantined",
+    "supervise.resumed",
+    "supervise.checkpointed",
+)
+"""Counter names the supervised campaign runtime increments.
+
+``retries`` counts requeued attempts, ``timeouts``/``crashes``/
+``failures`` classify charged attempt failures (deadline, dead worker,
+worker exception), ``rebuilds`` counts pool teardowns forced by hung
+workers or broken pipes, ``quarantined`` counts items that exhausted
+their retry budget, ``resumed`` counts items served from a checkpoint
+journal, and ``checkpointed`` counts successful items appended to one.
+"""
+
+
+def supervision_counts(profiler: Optional["Profiler"] = None
+                       ) -> Dict[str, int]:
+    """Supervision counters as a zero-filled, fixed-order table.
+
+    Reads the given (default: global) profiler's counters so benchmark
+    reports and CLI summaries can embed the supervision story of a run
+    without caring which counters happened to fire.
+    """
+    source = profiler if profiler is not None else get_profiler()
+    return {name: int(source.counters.get(name, 0))
+            for name in SUPERVISION_COUNTERS}
 
 
 @dataclass

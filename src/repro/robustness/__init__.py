@@ -11,13 +11,17 @@ package provides the pieces:
   the oscilloscope/device path;
 * :mod:`repro.robustness.health` — capture quality metrics + thresholds;
 * :mod:`repro.robustness.retry` — bounded retry, exponential backoff with
-  deterministic jitter, and the degradation ladder.
+  deterministic jitter, and the degradation ladder;
+* :mod:`repro.robustness.checkpoint` — the crash-safe campaign journal
+  behind ``--checkpoint-dir``/``--resume``.
 
-See ``docs/robustness.md`` for the fault taxonomy and the degradation
-ladder end to end.
+See ``docs/robustness.md`` for the fault taxonomy, the degradation
+ladder, and campaign supervision/resume end to end.
 """
 
-from .errors import (AcquisitionError, AnalysisError, CaptureQualityError,
+from .checkpoint import JOURNAL_SCHEMA, CheckpointJournal, content_key
+from .errors import (AcquisitionError, AnalysisError, CampaignError,
+                     CaptureQualityError, CheckpointError,
                      ConfigurationError, ConvergenceError, ModelFormatError,
                      ProbeError, ReproError, exit_code_for)
 from .faults import FAULT_KINDS, FaultInjector, FaultPlan
@@ -30,15 +34,19 @@ __all__ = [
     "AcquisitionError",
     "AcquisitionStats",
     "AnalysisError",
+    "CampaignError",
     "CaptureQuality",
     "CaptureQualityError",
     "CaptureSupervisor",
+    "CheckpointError",
+    "CheckpointJournal",
     "ConfigurationError",
     "ConvergenceError",
     "FAULT_KINDS",
     "FaultInjector",
     "FaultPlan",
     "HealthPolicy",
+    "JOURNAL_SCHEMA",
     "ModelFormatError",
     "ProbeError",
     "ProbeOutcome",
@@ -47,6 +55,7 @@ __all__ = [
     "RetryPolicy",
     "assess_capture",
     "clipping_ratio",
+    "content_key",
     "exit_code_for",
     "screen_repetitions",
 ]

@@ -99,6 +99,36 @@ class AnalysisError(ReproError):
     exit_code = 17
 
 
+class CampaignError(ReproError):
+    """A supervised campaign could not deliver every required item.
+
+    Raised when quarantined items (per-item retry budget exhausted by
+    crashes, timeouts, or worker exceptions) would leave a hole that the
+    consumer cannot tolerate — model building and leakage assessments
+    need every probe.  ``quarantined`` carries the indices of the lost
+    items so operators can rerun or exclude them deliberately.
+    """
+
+    exit_code = 18
+
+    def __init__(self, message: str,
+                 quarantined: Optional[list] = None):
+        super().__init__(message)
+        self.quarantined = list(quarantined or [])
+
+
+class CheckpointError(ReproError):
+    """A checkpoint journal is corrupt or inconsistent with the campaign.
+
+    Raised when a journal's header metadata does not match the resuming
+    campaign's configuration, when a record fails its checksum, or when
+    a non-trailing record cannot be parsed (trailing torn writes are
+    tolerated and truncated — they are the expected crash artifact).
+    """
+
+    exit_code = 19
+
+
 def exit_code_for(error: BaseException) -> int:
     """CLI exit code for an exception (1 for non-:class:`ReproError`)."""
     if isinstance(error, ReproError):

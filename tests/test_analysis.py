@@ -33,8 +33,9 @@ from tools.analysis.cli import main as lint_main  # noqa: E402
 from tools.analysis.report import render_json  # noqa: E402
 from tools.analysis.rules import all_rules  # noqa: E402
 from tools.analysis.rules.contracts import (  # noqa: E402
-    FALLBACK_REPRO_ERRORS, BareExceptRule, CliErrorTypeRule,
-    ExitCodeTableRule, SwallowedExceptionRule, repro_error_names)
+    FALLBACK_REPRO_ERRORS, BareExceptRule, CampaignTimeoutRule,
+    CliErrorTypeRule, ExitCodeTableRule, SwallowedExceptionRule,
+    repro_error_names)
 from tools.analysis.rules.determinism import (  # noqa: E402
     ForeignPoolRule, SetIterationRule, UnseededRngRule, UnsortedWalkRule,
     WallClockRule)
@@ -443,6 +444,66 @@ class TestExitCodeTable:
             ExitCodeTableRule())
         assert result.findings == []
         assert rule_ids_suppressed(result) == ["E304"]
+
+
+class TestCampaignTimeout:
+    CONFIG = replace(EVERYWHERE, campaign_modules=[""])
+
+    def test_positive_bare_fanout(self):
+        result = scan(
+            """
+            from repro.parallel import parallel_map, supervised_map
+            parallel_map(run, items, workers=4)
+            supervised_map(run, items, workers=4, max_item_retries=1)
+            """, CampaignTimeoutRule(), self.CONFIG)
+        assert rule_ids(result) == ["E305", "E305"]
+
+    def test_positive_attribute_call(self):
+        result = scan(
+            """
+            import repro.parallel
+            repro.parallel.parallel_map(run, items)
+            """, CampaignTimeoutRule(), self.CONFIG)
+        assert rule_ids(result) == ["E305"]
+
+    def test_negative_explicit_timeout(self):
+        result = scan(
+            """
+            from repro.parallel import parallel_map, supervised_map
+            parallel_map(run, items, timeout=30.0)
+            supervised_map(run, items, timeout=None)
+            """, CampaignTimeoutRule(), self.CONFIG)
+        assert result.findings == []
+
+    def test_negative_kwargs_splat_trusted(self):
+        result = scan(
+            """
+            from repro.parallel import supervised_map
+            supervised_map(run, items, **supervision)
+            """, CampaignTimeoutRule(), self.CONFIG)
+        assert result.findings == []
+
+    def test_negative_outside_campaign_modules(self):
+        result = scan(
+            "from repro.parallel import parallel_map\n"
+            "parallel_map(run, items)\n",
+            CampaignTimeoutRule())  # EVERYWHERE keeps the real paths
+        assert result.findings == []
+
+    def test_negative_other_calls(self):
+        result = scan(
+            "map(run, items)\npool.map(run, items)\n",
+            CampaignTimeoutRule(), self.CONFIG)
+        assert result.findings == []
+
+    def test_suppressed(self):
+        result = scan(
+            "from repro.parallel import parallel_map\n"
+            "parallel_map(run, items)"
+            "  # repro: allow[E305] interactive, items are instant\n",
+            CampaignTimeoutRule(), self.CONFIG)
+        assert result.findings == []
+        assert rule_ids_suppressed(result) == ["E305"]
 
 
 # ---------------------------------------------------------------------------

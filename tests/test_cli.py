@@ -92,3 +92,49 @@ def test_tampered_model_exit_code(model_path, tmp_path, capsys):
     tampered.write_text(json.dumps(data))
     assert main(["savat", "--model", str(tampered)]) == 14
     assert "checksum" in capsys.readouterr().err
+
+
+def test_non_numeric_workers_exit_code(tmp_path, capsys):
+    """``--workers fast`` exits with the ConfigurationError code (16)
+    and names the offending value — not argparse's usage error (2)."""
+    from repro.robustness import ConfigurationError
+    assert main(["bench", "--workers", "fast", "--programs", "2"]) == \
+        ConfigurationError("x").exit_code
+    err = capsys.readouterr().err
+    assert err.startswith("error: ")
+    assert "'fast'" in err
+
+
+def test_non_numeric_workers_all_commands(model_path, tmp_path, capsys):
+    """Every --workers-bearing subcommand validates through
+    resolve_workers (exit 16), before doing any campaign work."""
+    commands = [
+        ["train", "--out", str(tmp_path / "m.json"), "--workers", "soon"],
+        ["accuracy", "--model", model_path, "--workers", "many"],
+        ["savat", "--model", model_path, "--workers", "½"],
+    ]
+    for argv in commands:
+        assert main(argv) == 16, argv
+        assert "worker count" in capsys.readouterr().err
+
+
+def test_workers_auto_accepted(model_path, capsys):
+    """``--workers auto`` still resolves (satellite regression guard)."""
+    assert main(["savat", "--model", model_path,
+                 "--pairs", "NOP/NOP", "--workers", "auto"]) == 0
+    assert "SAVAT NOP/NOP" in capsys.readouterr().out
+
+
+def test_train_checkpoint_resume_identical_model(tmp_path):
+    """CLI train with --checkpoint-dir then --resume yields the same
+    model bytes as a plain run."""
+    plain = tmp_path / "plain.json"
+    assert main(["train", "--out", str(plain), "--probes", "4"]) == 0
+    ckpt_dir = str(tmp_path / "ckpt")
+    first = tmp_path / "first.json"
+    assert main(["train", "--out", str(first), "--probes", "4",
+                 "--checkpoint-dir", ckpt_dir]) == 0
+    resumed = tmp_path / "resumed.json"
+    assert main(["train", "--out", str(resumed), "--probes", "4",
+                 "--checkpoint-dir", ckpt_dir, "--resume"]) == 0
+    assert first.read_text() == resumed.read_text()

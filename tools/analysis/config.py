@@ -46,10 +46,16 @@ class AnalysisConfig:
     #: populated from ``[tool.repro.docstrings]`` for one-gate parity).
     docstring_packages: List[str] = field(default_factory=lambda: [
         "src/repro/core", "src/repro/signal"])
+    #: campaign-shaped modules where every supervised fan-out call must
+    #: pass an explicit ``timeout=`` (E305) — an hours-long campaign
+    #: silently inheriting "no deadline" is how hung workers sink runs.
+    campaign_modules: List[str] = field(default_factory=lambda: [
+        "src/repro/core/batch.py", "src/repro/core/training.py",
+        "src/repro/leakage/tvla.py", "src/repro/leakage/savat.py"])
     #: process exit codes the repo documents (E304); kept in sync with
     #: the ``ReproError`` table in ``docs/robustness.md``.
     exit_codes: List[int] = field(default_factory=lambda: [
-        0, 1, 2, 10, 11, 12, 13, 14, 15, 16, 17])
+        0, 1, 2, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19])
     #: markdown surfaces checked by the doc rules (A402/A403).
     doc_files: List[str] = field(default_factory=lambda: [
         "README.md", "docs"])

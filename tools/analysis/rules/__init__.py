@@ -10,7 +10,8 @@ from __future__ import annotations
 from typing import List
 
 from ..core import Rule
-from .contracts import (BareExceptRule, CliErrorTypeRule, ExitCodeTableRule,
+from .contracts import (BareExceptRule, CampaignTimeoutRule,
+                        CliErrorTypeRule, ExitCodeTableRule,
                         SwallowedExceptionRule)
 from .determinism import (ForeignPoolRule, SetIterationRule, UnseededRngRule,
                           UnsortedWalkRule, WallClockRule)
@@ -35,6 +36,7 @@ def all_rules() -> List[Rule]:
         SwallowedExceptionRule(),
         CliErrorTypeRule(),
         ExitCodeTableRule(),
+        CampaignTimeoutRule(),
         DocstringCoverageRule(),
         DocLinkRule(),
         CliReferenceRule(),

@@ -31,7 +31,8 @@ CLI_EXEMPT_RAISES = frozenset({
 FALLBACK_REPRO_ERRORS = frozenset({
     "ReproError", "AcquisitionError", "CaptureQualityError",
     "ConvergenceError", "ModelFormatError", "ProbeError",
-    "ConfigurationError", "AnalysisError",
+    "ConfigurationError", "AnalysisError", "CampaignError",
+    "CheckpointError",
 })
 
 
@@ -183,3 +184,44 @@ class ExitCodeTableRule(Rule):
                          f"documented ReproError table "
                          f"(docs/robustness.md); add it there or map "
                          f"through exit_code_for()")
+
+
+class CampaignTimeoutRule(Rule):
+    """E305: campaign fan-outs must pass an explicit ``timeout=``.
+
+    The supervised pool treats a missing ``timeout`` as "no deadline" —
+    correct for short fan-outs, but in the campaign modules (model
+    training, TVLA, SAVAT — the hours-long workloads) a hung worker
+    then blocks the run forever.  Every ``parallel_map``/
+    ``supervised_map`` call in a module configured under
+    ``campaign-modules`` must state its deadline policy explicitly,
+    even if that statement is ``timeout=None`` (visibly opting out) or
+    a forwarded variable.  Calls that splat ``**kwargs`` are trusted.
+    """
+
+    rule_id = "E305"
+    family = "contracts"
+    title = "campaign fan-out without an explicit timeout"
+    node_types = (ast.Call,)
+
+    #: the supervised fan-out entry points of ``repro.parallel``.
+    FANOUT_FNS = frozenset({"parallel_map", "supervised_map"})
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return path_matches(ctx.path, ctx.config.campaign_modules)
+
+    def check_node(self, node: ast.Call,
+                   ctx: FileContext) -> Iterator[Tuple[ast.AST, str]]:
+        qual = ctx.qualname(node.func)
+        if qual is None:
+            return
+        name = qual.rpartition(".")[2]
+        if name not in self.FANOUT_FNS:
+            return
+        for keyword in node.keywords:
+            if keyword.arg == "timeout" or keyword.arg is None:
+                return
+        yield node, (f"{name} call in a campaign module without an "
+                     f"explicit timeout=; state the per-item deadline "
+                     f"(or timeout=None to visibly opt out) so hung "
+                     f"workers cannot sink an hours-long run")
