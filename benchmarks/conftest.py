@@ -70,3 +70,32 @@ def run_once(benchmark, function):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(function, rounds=1, iterations=1,
                               warmup_rounds=0)
+
+
+def bench_quick() -> bool:
+    """Whether the shrunk ``make bench-quick`` workloads are selected."""
+    return os.environ.get("REPRO_BENCH_QUICK") == "1"
+
+
+def write_bench_report(name: str, metadata: dict, profiler=None) -> dict:
+    """Write one ``BENCH_<name>.json`` report into ``results/``.
+
+    The single place that knows the quick/full file-pair convention:
+    under ``REPRO_BENCH_QUICK=1`` the report lands in
+    ``BENCH_<name>.quick.json`` so the committed full-size artifact
+    stays intact.  Every report also records the ``quick`` flag and the
+    run-manifest path (``None`` unless the bench ran inside a
+    ``--trace-dir``-style recording; see docs/observability.md), then
+    delegates to :func:`repro.profiling.write_bench_json` for the
+    ``repro-bench/1`` envelope.
+    """
+    from repro.observability import current_manifest_path
+    from repro.profiling import write_bench_json
+
+    suffix = ".quick.json" if bench_quick() else ".json"
+    document = dict(metadata)
+    document.setdefault("quick", bench_quick())
+    document.setdefault("manifest", current_manifest_path())
+    return write_bench_json(
+        os.path.join(RESULTS_DIR, f"BENCH_{name}{suffix}"),
+        metadata=document, profiler=profiler)

@@ -13,17 +13,15 @@ Emits the machine-readable ``benchmarks/results/BENCH_sim.json`` report
 (schema ``repro-bench/1``) so the perf trajectory is tracked across PRs.
 """
 
-import os
 import time
 
 import numpy as np
 import pytest
 
-from conftest import RESULTS_DIR, run_once
+from conftest import run_once, write_bench_report
 from repro.core import measurement_campaign
 from repro.hardware import HardwareDevice
-from repro.profiling import disable_profiling, enable_profiling, \
-    write_bench_json
+from repro.profiling import disable_profiling, enable_profiling
 from repro.workloads import RandomProgramBuilder
 
 PROGRAMS = 256
@@ -61,8 +59,8 @@ def test_campaign_speedup(benchmark, record):
             max(float(np.abs(a.signal - b.signal).max()),
                 float(np.abs(a.amplitudes - b.amplitudes).max()))
             for a, b in zip(sequential, batched))
-        document = write_bench_json(
-            os.path.join(RESULTS_DIR, "BENCH_sim.json"),
+        document = write_bench_report(
+            "sim",
             metadata={
                 "benchmark": "measurement_campaign",
                 "programs": PROGRAMS,

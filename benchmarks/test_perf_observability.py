@@ -1,0 +1,124 @@
+"""Perf: run-record observability overhead on a supervised campaign.
+
+The acceptance claim for the observability layer (docs/observability.md):
+recording a campaign — per-item span/metric flushing, the campaign
+event stream, and the final ``manifest.json`` — costs **< 5 %** wall
+time on the 256-item reference campaign.  Both arms run the identical
+fault-free workload at ``workers=1`` (the serial supervised path, where
+per-item instrumentation cost is least amortized and therefore worst
+case); each arm takes the min of two runs so one scheduler hiccup
+cannot fake an overhead regression.
+
+Emits ``benchmarks/results/BENCH_observability.json`` (schema
+``repro-bench/1``).  ``REPRO_BENCH_QUICK=1`` shrinks the campaign to 64
+items and writes ``BENCH_observability.quick.json`` instead.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from conftest import bench_quick, run_once, write_bench_report
+from repro.observability import (finish_run, render_report, start_run,
+                                 validate_manifest)
+from repro.parallel import spawn_seed, supervised_map
+from repro.profiling import disable_profiling, enable_profiling
+
+QUICK = bench_quick()
+ITEMS = 64 if QUICK else 256
+ROUNDS = 2
+OVERHEAD_CEILING = 0.05
+
+
+def _payload(index):
+    """Deterministic seeded computation sized like a real campaign item
+    (~20 ms), matching the resume bench's workload so the two overhead
+    claims (checkpoint < 5 %, recording < 5 %) are measured against the
+    same reference campaign."""
+    import numpy as np
+
+    rng = spawn_seed(7, index)
+    signal = rng.normal(size=65536)
+    for _ in range(16):
+        signal = np.fft.irfft(np.fft.rfft(signal), len(signal))
+    return signal[:128].copy()
+
+
+def _campaign():
+    start = time.perf_counter()
+    results, ledger = supervised_map(_payload, list(range(ITEMS)),
+                                     workers=1)
+    assert ledger.complete
+    return time.perf_counter() - start
+
+
+def _baseline_arm():
+    return min(_campaign() for _ in range(ROUNDS))
+
+
+def _recorded_arm(trace_root):
+    best = None
+    manifest_path = None
+    for round_index in range(ROUNDS):
+        trace_dir = os.path.join(trace_root, f"round_{round_index}")
+        start_run(trace_dir, manifest=True, command="bench-observability")
+        try:
+            seconds = _campaign()
+        finally:
+            manifest_path = finish_run()
+        best = seconds if best is None else min(best, seconds)
+    return best, manifest_path
+
+
+@pytest.mark.benchmark(group="perf")
+def test_observability_overhead(benchmark, record, tmp_path):
+    def experiment():
+        profiler = enable_profiling()
+        profiler.reset()
+        try:
+            baseline_seconds = _baseline_arm()
+            recorded_seconds, manifest_path = _recorded_arm(
+                str(tmp_path / "traces"))
+        finally:
+            disable_profiling()
+        overhead = recorded_seconds / baseline_seconds - 1.0
+
+        # the recorded arm must have produced a schema-valid manifest
+        # that renders; an "overhead" number for a recording that wrote
+        # nothing would be meaningless
+        with open(manifest_path, encoding="utf-8") as handle:
+            document = json.load(handle)
+        validate_manifest(document)
+        report_text = render_report(document)
+        assert "# Run report: bench-observability" in report_text
+
+        return write_bench_report(
+            "observability",
+            metadata={
+                "benchmark": "observability_overhead",
+                "items": ITEMS,
+                "workers": 1,
+                "rounds": ROUNDS,
+                "baseline_seconds": baseline_seconds,
+                "recorded_seconds": recorded_seconds,
+                "recording_overhead": overhead,
+                "manifest": manifest_path,
+                "manifest_valid": True,
+            }, profiler=profiler)
+
+    document = run_once(benchmark, experiment)
+    lines = [f"{ITEMS}-item fault-free campaign at workers=1, min of "
+             f"{ROUNDS} runs per arm" + (" (quick mode)" if QUICK else ""),
+             f"baseline (no recording): "
+             f"{document['baseline_seconds']:6.2f} s",
+             f"recorded (--trace-dir):  "
+             f"{document['recorded_seconds']:6.2f} s",
+             f"recording overhead: "
+             f"{document['recording_overhead']:+6.2%}  "
+             f"(ceiling {OVERHEAD_CEILING:.0%})",
+             f"manifest schema-valid: {document['manifest_valid']}"]
+    record("perf_observability", "\n".join(lines))
+    assert document["manifest_valid"]
+    assert document["recording_overhead"] < OVERHEAD_CEILING

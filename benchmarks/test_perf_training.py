@@ -15,22 +15,19 @@ workload so the whole bench fits inside the tier-1 time budget
 keeping the committed full-size artifact intact.
 """
 
-import os
 import time
 
 import pytest
 
-from conftest import RESULTS_DIR, run_once
+from conftest import bench_quick, run_once, write_bench_report
 from repro.core import (Trainer, configure_trace_cache, get_trace_cache,
                         model_to_dict)
 from repro.hardware import HardwareDevice
-from repro.profiling import disable_profiling, enable_profiling, \
-    write_bench_json
+from repro.profiling import disable_profiling, enable_profiling
 
-QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+QUICK = bench_quick()
 PROBES = 2 if QUICK else 8
 SPEEDUP_FLOOR = 2.0 if QUICK else 5.0
-REPORT = "BENCH_train.quick.json" if QUICK else "BENCH_train.json"
 
 
 def _fit(fast, clear_cache):
@@ -56,11 +53,10 @@ def test_training_fast_path_speedup(benchmark, record):
         finally:
             disable_profiling()
         stats = get_trace_cache().stats
-        document = write_bench_json(
-            os.path.join(RESULTS_DIR, REPORT),
+        document = write_bench_report(
+            "train",
             metadata={
                 "benchmark": "trainer_fit",
-                "quick": QUICK,
                 "probes_per_class": PROBES,
                 "legacy_seconds": legacy_seconds,
                 "fast_cold_seconds": cold_seconds,

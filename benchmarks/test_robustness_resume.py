@@ -23,19 +23,18 @@ import time
 import numpy as np
 import pytest
 
-from conftest import RESULTS_DIR, run_once
+from conftest import bench_quick, run_once, write_bench_report
 from repro.parallel import spawn_seed, supervised_map
 from repro.profiling import (disable_profiling, enable_profiling,
-                             supervision_counts, write_bench_json)
+                             supervision_counts)
 from repro.robustness import CheckpointJournal, content_key
 
-QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+QUICK = bench_quick()
 ITEMS = 64 if QUICK else 256
 WORKERS = 8
 ITEM_TIMEOUT = 1.0
 MAX_RETRIES = 2
 OVERHEAD_CEILING = 0.05
-REPORT = "BENCH_resume.quick.json" if QUICK else "BENCH_resume.json"
 
 # fault plan: every 20th item (offset 3) crashes its worker on the
 # first attempt, every 20th (offset 13) hangs past the deadline — a
@@ -174,11 +173,10 @@ def test_supervised_resume(benchmark, record, tmp_path):
                 assert np.array_equal(a, b)  # faults never change data
         finally:
             disable_profiling()
-        return write_bench_json(
-            os.path.join(RESULTS_DIR, REPORT),
+        return write_bench_report(
+            "resume",
             metadata={
                 "benchmark": "supervised_resume",
-                "quick": QUICK,
                 "items": ITEMS,
                 "workers": WORKERS,
                 "item_timeout": ITEM_TIMEOUT,

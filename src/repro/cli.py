@@ -14,16 +14,22 @@ per-cycle amplitudes; ``accuracy`` scores the model on held-out coverage
 groups; ``savat`` computes simulated SAVAT values for instruction pairs;
 ``bench`` times either a sequential vs batched/parallel measurement
 campaign (``--mode sim``, writes ``BENCH_sim.json``) or the scalar vs
-fast model-building path (``--mode train``, writes ``BENCH_train.json``).
+fast model-building path (``--mode train``, writes ``BENCH_train.json``);
+``report`` renders a run manifest (written under ``--trace-dir``) into a
+Markdown run report.
 Global flags: ``--profile`` prints a per-phase wall-time table (including
 trace-cache hit/miss counters) after any command; ``--no-trace-cache``
 and ``--trace-cache-dir`` control the content-addressed activity-trace
-cache.  The full reference lives in ``docs/cli.md``.
+cache; ``--trace-dir`` records the run (span traces, metrics, a
+``repro-manifest/1`` manifest + events JSONL) into a directory, and
+``--no-manifest`` keeps the event stream but skips the final
+``manifest.json``.  The full reference lives in ``docs/cli.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -34,6 +40,8 @@ from .core import (EMSim, Trainer, coverage_groups, load_model,
 from .hardware import BOARDS, HardwareDevice
 from .isa import assemble
 from .leakage import SimulatorSignalSource, savat_matrix
+from .observability import (current_manifest_path, finish_run,
+                            render_report, start_run, validate_manifest)
 from .parallel import resolve_workers
 from .profiling import enable_profiling, get_profiler, write_bench_json
 from .robustness import ConfigurationError, FaultPlan, ReproError
@@ -91,6 +99,14 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="persist trace-cache entries to this "
                              "directory so repeated invocations reuse "
                              "them")
+    parser.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="record this run (span traces, metrics, "
+                             "campaign events, and a manifest.json) "
+                             "into DIR; render it later with "
+                             "'repro report'")
+    parser.add_argument("--no-manifest", action="store_true",
+                        help="with --trace-dir, keep the events JSONL "
+                             "but skip writing the final manifest.json")
     commands = parser.add_subparsers(dest="command", required=True)
 
     train = commands.add_parser("train", help="train a model on the bench")
@@ -188,6 +204,19 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(default: BENCH_sim.json or "
                             "BENCH_train.json, by --mode)")
     _add_supervision_flags(bench)
+
+    report = commands.add_parser(
+        "report", help="render a run manifest written by --trace-dir "
+                       "into a Markdown run report")
+    report.add_argument("manifest",
+                        help="path to a manifest.json produced by a "
+                             "--trace-dir run")
+    report.add_argument("--journal", default=None, metavar="FILE",
+                        help="also summarize this checkpoint journal "
+                             "in the report")
+    report.add_argument("--out", default=None,
+                        help="write the Markdown report here instead "
+                             "of stdout")
     return parser
 
 
@@ -377,6 +406,7 @@ def _bench_train(args) -> int:
         "models_identical": identical,
         "trace_cache_hits": stats.hits,
         "trace_cache_misses": stats.misses,
+        "manifest": current_manifest_path(),
     }, profiler=profiler)
     print(f"report written to {out}")
     if not identical:
@@ -451,12 +481,38 @@ def _cmd_bench(args) -> int:
         "batched_seconds": batched_seconds,
         "speedup": speedup,
         "max_abs_diff": max_diff,
+        "manifest": current_manifest_path(),
     }, profiler=profiler)
     print(f"report written to {args.out}")
     if max_diff > 1e-9:
         print(f"error: batched/sequential divergence {max_diff:.3e} "
               f"exceeds the 1e-9 contract", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_report(args) -> int:
+    try:
+        with open(args.manifest, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot read run manifest {args.manifest!r} ({exc})")
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"{args.manifest}: run manifest is not valid JSON ({exc})")
+    validate_manifest(document)
+    journal = None
+    if args.journal is not None:
+        from .robustness import journal_summary
+        journal = journal_summary(args.journal)
+    text = render_report(document, journal=journal)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"report written to {args.out}")
+    else:
+        print(text, end="")
     return 0
 
 
@@ -472,13 +528,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {"train": _cmd_train, "simulate": _cmd_simulate,
                 "accuracy": _cmd_accuracy, "savat": _cmd_savat,
-                "balance": _cmd_balance, "bench": _cmd_bench}
+                "balance": _cmd_balance, "bench": _cmd_bench,
+                "report": _cmd_report}
     if args.profile:
         enable_profiling()
     if args.no_trace_cache or args.trace_cache_dir is not None:
         from .core import configure_trace_cache
         configure_trace_cache(enabled=not args.no_trace_cache,
                               directory=args.trace_cache_dir)
+    recording = args.trace_dir is not None
+    if recording:
+        try:
+            start_run(args.trace_dir, manifest=not args.no_manifest,
+                      command=args.command)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return exc.exit_code
     try:
         return handlers[args.command](args)
     except ReproError as exc:
@@ -487,6 +552,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     finally:
         if args.profile:
             print(get_profiler().summary())
+        if recording:
+            manifest_path = finish_run()
+            if manifest_path is not None:
+                print(f"run manifest written to {manifest_path}")
 
 
 if __name__ == "__main__":  # pragma: no cover

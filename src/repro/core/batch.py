@@ -40,6 +40,7 @@ import numpy as np
 
 from ..hardware.device import HardwareDevice
 from ..isa.program import Program
+from ..observability import get_metrics, get_tracer, record_campaign
 from ..parallel import (CampaignLedger, parallel_map, resolve_workers,
                         spawn_seed, supervised_map)
 from ..profiling import get_profiler, monotonic
@@ -115,18 +116,21 @@ class BatchSimulator:
         """Simulate every program; returns results in input order."""
         programs = list(programs)
         profiler = get_profiler()
-        results = parallel_map(
-            _simulate_item, list(enumerate(programs)),
-            workers=self.workers,
-            initializer=_simulate_init,
-            initargs=(self.simulator, max_cycles),
-            timeout=self.item_timeout,
-            max_item_retries=self.max_item_retries)
-        model = self.simulator.model
-        samples_per_cycle = model.config.samples_per_cycle
-        signals = batch_reconstruct(
-            [amplitudes for _, amplitudes in results],
-            model.config.kernel, samples_per_cycle)
+        with get_tracer().span("batch.simulate_many",
+                               programs=len(programs),
+                               workers=self.workers):
+            results = parallel_map(
+                _simulate_item, list(enumerate(programs)),
+                workers=self.workers,
+                initializer=_simulate_init,
+                initargs=(self.simulator, max_cycles),
+                timeout=self.item_timeout,
+                max_item_retries=self.max_item_retries)
+            model = self.simulator.model
+            samples_per_cycle = model.config.samples_per_cycle
+            signals = batch_reconstruct(
+                [amplitudes for _, amplitudes in results],
+                model.config.kernel, samples_per_cycle)
         profiler.count("batch.programs", len(programs))
         return [SimulatedSignal(amplitudes=amplitudes, signal=signal,
                                 trace=trace,
@@ -261,23 +265,36 @@ def supervised_campaign(device: HardwareDevice,
                                   repetitions, kernel, samples_per_cycle,
                                   max_cycles, batched)
 
-    probes, ledger = supervised_map(
-        _campaign_item, list(enumerate(programs)),
-        workers=workers,
-        initializer=_campaign_init,
-        initargs=(device, seed, repetitions, max_cycles, kernel,
-                  samples_per_cycle, batched),
-        timeout=item_timeout,
-        max_item_retries=max_item_retries,
-        seed=seed,
-        journal=journal,
-        key_for=key_for if journal is not None else None)
+    meta = {"campaign": "measurement", "device": device.name,
+            "seed": int(seed), "repetitions": int(repetitions),
+            "programs": len(programs), "workers": effective}
+    with record_campaign("measurement", meta) as recording:
+        with get_tracer().span("campaign.measurement",
+                               programs=len(programs), workers=effective):
+            probes, ledger = supervised_map(
+                _campaign_item, list(enumerate(programs)),
+                workers=workers,
+                initializer=_campaign_init,
+                initargs=(device, seed, repetitions, max_cycles, kernel,
+                          samples_per_cycle, batched),
+                timeout=item_timeout,
+                max_item_retries=max_item_retries,
+                seed=seed,
+                journal=journal,
+                key_for=key_for if journal is not None else None)
+        recording.ledger(ledger)
+        recording.checkpoint(getattr(journal, "path", None))
     profiler = get_profiler()
+    registry = get_metrics()
     for probe in probes:
         if probe is None:
             continue
         profiler.add_phase("campaign.capture", probe.capture_seconds)
         profiler.add_phase("campaign.deconvolve", probe.deconvolve_seconds)
+        registry.observe("campaign.capture_seconds",
+                         probe.capture_seconds)
+        registry.observe("campaign.deconvolve_seconds",
+                         probe.deconvolve_seconds)
     profiler.count("campaign.programs", len(probes))
     return probes, ledger
 

@@ -183,10 +183,13 @@ class TraceCache:
         profiler = get_profiler()
         key = trace_key(program, config, core_kind=core_kind,
                         max_cycles=max_cycles, salt=salt)
+        disk_hits_before = self.stats.disk_hits
         value = self.lookup(key)
         if value is not None:
             self.stats.hits += 1
             profiler.count(f"trace_cache.{category}.hits")
+            if self.stats.disk_hits != disk_hits_before:
+                profiler.count(f"trace_cache.{category}.disk_hits")
             return value
         self.stats.misses += 1
         profiler.count(f"trace_cache.{category}.misses")

@@ -27,6 +27,7 @@ import numpy as np
 
 from ..hardware.device import HardwareDevice, Measurement
 from ..isa.program import Program
+from ..observability import get_tracer, record_campaign
 from ..parallel import resolve_workers, spawn_seed, supervised_map
 from ..profiling import get_profiler, monotonic
 from ..robustness.checkpoint import CheckpointJournal
@@ -279,19 +280,22 @@ class Trainer:
 
         profiler = get_profiler()
         start = monotonic()
-        results, ledger = supervised_map(
-            _pool_measure, list(enumerate(programs)),
-            workers=self.workers,
-            initializer=_pool_measure_init,
-            initargs=(self.device, self.capture_method, self.repetitions,
-                      self.retry_policy or RetryPolicy(seed=self.seed),
-                      self.health_policy or HealthPolicy(),
-                      not self.strict, self.seed),
-            timeout=self.item_timeout,
-            max_item_retries=self.max_item_retries,
-            seed=self.seed,
-            journal=self._journal,
-            key_for=key_for if self._journal is not None else None)
+        with get_tracer().span("train.measure_many", batch=batch,
+                               probes=len(programs)):
+            results, ledger = supervised_map(
+                _pool_measure, list(enumerate(programs)),
+                workers=self.workers,
+                initializer=_pool_measure_init,
+                initargs=(self.device, self.capture_method,
+                          self.repetitions,
+                          self.retry_policy or RetryPolicy(seed=self.seed),
+                          self.health_policy or HealthPolicy(),
+                          not self.strict, self.seed),
+                timeout=self.item_timeout,
+                max_item_retries=self.max_item_retries,
+                seed=self.seed,
+                journal=self._journal,
+                key_for=key_for if self._journal is not None else None)
         profiler.add_phase("train.capture", monotonic() - start,
                            calls=len(programs))
         if not ledger.complete:
@@ -336,20 +340,28 @@ class Trainer:
         journal — producing bit-identical model coefficients to an
         uninterrupted run.
         """
-        if self.checkpoint is None:
-            return self._train_stages()
         meta = {"campaign": "train", "device": self.device.name,
                 "seed": int(self.seed), "capture": self.capture_method,
                 "repetitions": int(self.repetitions)}
-        self._batch_counter = 0
-        with CheckpointJournal(self.checkpoint, meta=meta,
-                               resume=self.resume) as journal:
-            with journal.guarded():
-                self._journal = journal
-                try:
-                    return self._train_stages()
-                finally:
-                    self._journal = None
+        with record_campaign("train", dict(
+                meta, workers=resolve_workers(self.workers))) as recording:
+            with get_tracer().span("train.pipeline",
+                                   device=self.device.name):
+                if self.checkpoint is None:
+                    model = self._train_stages()
+                else:
+                    recording.checkpoint(self.checkpoint)
+                    self._batch_counter = 0
+                    with CheckpointJournal(self.checkpoint, meta=meta,
+                                           resume=self.resume) as journal:
+                        with journal.guarded():
+                            self._journal = journal
+                            try:
+                                model = self._train_stages()
+                            finally:
+                                self._journal = None
+            recording.set("acquisition", self.supervisor.stats.summary())
+        return model
 
     def _train_stages(self) -> EMSimModel:
         """The five training stages (see the module docstring)."""

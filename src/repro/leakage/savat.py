@@ -16,6 +16,7 @@ import numpy as np
 
 from ..isa.instructions import Instruction, NOP
 from ..isa.program import Program
+from ..observability import record_campaign
 from ..parallel import resolve_workers, supervised_map
 from ..robustness.checkpoint import CheckpointJournal, content_key
 from ..robustness.errors import CampaignError
@@ -208,37 +209,45 @@ def savat_matrix(signal_source: Callable[[Program],
         pairs = [(kind_a, kind_b) for kind_a in kinds for kind_b in kinds]
     else:
         pairs = list(pairs)
+    meta = {"campaign": "savat", "repeats": int(repeats),
+            "burst": int(burst),
+            "samples_per_cycle": int(samples_per_cycle)}
     supervise = item_timeout is not None or checkpoint is not None
-    if not supervise and resolve_workers(workers) <= 1:
-        measurements = [savat_pair(signal_source, kind_a, kind_b,
-                                   samples_per_cycle, repeats=repeats,
-                                   burst=burst)
-                        for kind_a, kind_b in pairs]
-        return {(m.kind_a, m.kind_b): m.value for m in measurements}
+    with record_campaign("savat", dict(
+            meta, pairs=len(pairs),
+            workers=resolve_workers(workers))) as recording:
+        if not supervise and resolve_workers(workers) <= 1:
+            measurements = [savat_pair(signal_source, kind_a, kind_b,
+                                       samples_per_cycle, repeats=repeats,
+                                       burst=burst)
+                            for kind_a, kind_b in pairs]
+            recording.set("items", len(pairs))
+            return {(m.kind_a, m.kind_b): m.value for m in measurements}
 
-    def key_for(index: int, pair: Tuple[str, str]) -> str:
-        return content_key("savat", pair[0], pair[1], repeats, burst,
-                           samples_per_cycle)
+        def key_for(index: int, pair: Tuple[str, str]) -> str:
+            return content_key("savat", pair[0], pair[1], repeats, burst,
+                               samples_per_cycle)
 
-    def run(journal: "CheckpointJournal | None") -> "tuple[list, object]":
-        return supervised_map(
-            _matrix_pair, pairs, workers=workers,
-            initializer=_matrix_init,
-            initargs=(signal_source, samples_per_cycle, repeats, burst),
-            timeout=item_timeout, max_item_retries=max_item_retries,
-            journal=journal,
-            key_for=key_for if journal is not None else None)
+        def run(journal: "CheckpointJournal | None"
+                ) -> "tuple[list, object]":
+            return supervised_map(
+                _matrix_pair, pairs, workers=workers,
+                initializer=_matrix_init,
+                initargs=(signal_source, samples_per_cycle, repeats,
+                          burst),
+                timeout=item_timeout, max_item_retries=max_item_retries,
+                journal=journal,
+                key_for=key_for if journal is not None else None)
 
-    if checkpoint is not None:
-        meta = {"campaign": "savat", "repeats": int(repeats),
-                "burst": int(burst),
-                "samples_per_cycle": int(samples_per_cycle)}
-        with CheckpointJournal(checkpoint, meta=meta,
-                               resume=resume) as journal:
-            with journal.guarded():
-                measurements, ledger = run(journal)
-    else:
-        measurements, ledger = run(None)
+        if checkpoint is not None:
+            with CheckpointJournal(checkpoint, meta=meta,
+                                   resume=resume) as journal:
+                with journal.guarded():
+                    measurements, ledger = run(journal)
+            recording.checkpoint(checkpoint)
+        else:
+            measurements, ledger = run(None)
+        recording.ledger(ledger)
     if not ledger.complete:
         raise CampaignError(
             f"SAVAT sweep lost {len(ledger.quarantined)} of "

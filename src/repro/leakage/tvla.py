@@ -13,6 +13,7 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from ..observability import record_campaign
 from ..parallel import resolve_workers, supervised_map
 from ..robustness.checkpoint import CheckpointJournal, content_key
 from ..robustness.errors import CampaignError
@@ -149,33 +150,38 @@ def collect_tvla_traces(trace_source: Callable[[Sequence[int]], np.ndarray],
     inputs = [list(fixed_input) for _ in range(num_traces)]
     inputs += [list(rng.integers(0, 256, size=input_length))
                for _ in range(num_traces)]
+    meta = {"campaign": "tvla", "traces": int(num_traces),
+            "input_length": int(input_length)}
     supervise = item_timeout is not None or checkpoint is not None
-    if not supervise and resolve_workers(workers) <= 1:
-        traces = [trace_source(value) for value in inputs]
-        return traces[:num_traces], traces[num_traces:]
+    with record_campaign("tvla", dict(
+            meta, workers=resolve_workers(workers))) as recording:
+        if not supervise and resolve_workers(workers) <= 1:
+            traces = [trace_source(value) for value in inputs]
+            recording.set("items", len(inputs))
+            return traces[:num_traces], traces[num_traces:]
 
-    def key_for(index: int, value: "List[int]") -> str:
-        return content_key("tvla", index, bytes(bytearray(
-            byte % 256 for byte in value)))
+        def key_for(index: int, value: "List[int]") -> str:
+            return content_key("tvla", index, bytes(bytearray(
+                byte % 256 for byte in value)))
 
-    def run(journal: Optional[CheckpointJournal]
-            ) -> "tuple[list, object]":
-        return supervised_map(
-            _collect_trace, inputs, workers=workers,
-            initializer=_collect_init, initargs=(trace_source,),
-            timeout=item_timeout, max_item_retries=max_item_retries,
-            journal=journal,
-            key_for=key_for if journal is not None else None)
+        def run(journal: Optional[CheckpointJournal]
+                ) -> "tuple[list, object]":
+            return supervised_map(
+                _collect_trace, inputs, workers=workers,
+                initializer=_collect_init, initargs=(trace_source,),
+                timeout=item_timeout, max_item_retries=max_item_retries,
+                journal=journal,
+                key_for=key_for if journal is not None else None)
 
-    if checkpoint is not None:
-        meta = {"campaign": "tvla", "traces": int(num_traces),
-                "input_length": int(input_length)}
-        with CheckpointJournal(checkpoint, meta=meta,
-                               resume=resume) as journal:
-            with journal.guarded():
-                traces, ledger = run(journal)
-    else:
-        traces, ledger = run(None)
+        if checkpoint is not None:
+            with CheckpointJournal(checkpoint, meta=meta,
+                                   resume=resume) as journal:
+                with journal.guarded():
+                    traces, ledger = run(journal)
+            recording.checkpoint(checkpoint)
+        else:
+            traces, ledger = run(None)
+        recording.ledger(ledger)
     if not ledger.complete:
         raise CampaignError(
             f"TVLA collection lost {len(ledger.quarantined)} of "

@@ -50,6 +50,8 @@ from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
 
 import numpy as np
 
+from .observability.tracer import (create_spool, flush_worker_records,
+                                   merge_spool, reset_flush_baseline)
 from .profiling import get_profiler, monotonic
 from .robustness.errors import CampaignError, ConfigurationError
 
@@ -264,20 +266,41 @@ _SUPERVISED_STATE: dict = {}
 
 def _supervised_init(queue: object, function: Callable,
                      initializer: Optional[Callable],
-                     initargs: tuple) -> None:
-    """Install the start-report queue + user initializer in a worker."""
+                     initargs: tuple,
+                     spool: Optional[str] = None) -> None:
+    """Install the start-report queue + user initializer in a worker.
+
+    ``spool`` (set when the parent is tracing) is the directory this
+    worker appends its span/metric records to; the flush baseline is
+    reset first so recordings inherited from the parent at fork time —
+    including after a mid-campaign pool rebuild — are never re-spooled.
+    """
     _SUPERVISED_STATE["queue"] = queue
     _SUPERVISED_STATE["function"] = function
+    _SUPERVISED_STATE["spool"] = spool
+    if spool is not None:
+        reset_flush_baseline()
     if initializer is not None:
         initializer(*initargs)
 
 
 def _supervised_call(index: int, item: object) -> object:
-    """Announce (pid, index) on the start queue, then run the item."""
+    """Announce (pid, index) on the start queue, then run the item.
+
+    With a spool configured, the worker's new spans and metric deltas
+    are flushed after the item — success or failure — so the parent
+    can merge them even when the attempt raised.
+    """
     queue = _SUPERVISED_STATE.get("queue")
     if queue is not None:
         queue.put((os.getpid(), index))
-    return _SUPERVISED_STATE["function"](item)
+    spool = _SUPERVISED_STATE.get("spool")
+    if spool is None:
+        return _SUPERVISED_STATE["function"](item)
+    try:
+        return _SUPERVISED_STATE["function"](item)
+    finally:
+        flush_worker_records(spool, index)
 
 
 @dataclass
@@ -382,14 +405,23 @@ class SupervisedPool:
         use_pool = self.policy.timeout is not None or \
             (effective > 1 and len(pending) > 1)
         if use_pool:
-            pool_state = self._start_pool(function, max(1, effective))
+            # span/metric spool for tracing across the process boundary
+            # (None while the tracer is disabled — zero overhead)
+            spool = create_spool()
+            pool_state = self._start_pool(function, max(1, effective),
+                                          spool)
             if pool_state is None:
+                merge_spool(spool)
                 use_pool = False
         if use_pool:
             context, pool, queue = pool_state
-            self._run_pool(context, pool, queue, function, items,
-                           pending, results, outcomes, ledger, journal,
-                           keys, propagate, max(1, effective), profiler)
+            try:
+                self._run_pool(context, pool, queue, function, items,
+                               pending, results, outcomes, ledger,
+                               journal, keys, propagate,
+                               max(1, effective), profiler, spool)
+            finally:
+                merge_spool(spool)
         else:
             self._run_serial(function, items, pending, results,
                              outcomes, journal, keys, propagate,
@@ -473,7 +505,8 @@ class SupervisedPool:
     # ------------------------------------------------------------------
     # pool path
     # ------------------------------------------------------------------
-    def _start_pool(self, function: Callable, processes: int):
+    def _start_pool(self, function: Callable, processes: int,
+                    spool: Optional[str] = None):
         """Fork a supervised pool; ``None`` when the sandbox forbids it."""
         try:
             import multiprocessing
@@ -486,7 +519,7 @@ class SupervisedPool:
                 processes=processes,
                 initializer=_supervised_init,
                 initargs=(queue, function, self.initializer,
-                          self.initargs))
+                          self.initargs, spool))
         except (ImportError, OSError):            # pragma: no cover
             # restricted environments (no /dev/shm, fork disabled):
             # degrade to the in-process loop
@@ -498,7 +531,8 @@ class SupervisedPool:
                   results: list, outcomes: List[ItemOutcome],
                   ledger: CampaignLedger, journal: object,
                   keys: Optional[List[str]], propagate: bool,
-                  processes: int, profiler: object) -> None:
+                  processes: int, profiler: object,
+                  spool: Optional[str] = None) -> None:
         timeout = self.policy.timeout
         # waiting entries are (index, charge): innocent resubmissions
         # after a rebuild carry charge=False so the ledger never depends
@@ -524,7 +558,7 @@ class SupervisedPool:
                 processes=processes,
                 initializer=_supervised_init,
                 initargs=(queue, function, self.initializer,
-                          self.initargs))
+                          self.initargs, spool))
 
         def submit(index: int, charge: bool) -> None:
             if charge:

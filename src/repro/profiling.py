@@ -29,8 +29,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional
 
 __all__ = ["PhaseStat", "Profiler", "get_profiler", "enable_profiling",
-           "disable_profiling", "monotonic", "write_bench_json",
-           "BENCH_SCHEMA", "SUPERVISION_COUNTERS", "supervision_counts"]
+           "disable_profiling", "monotonic", "set_counter_sink",
+           "write_bench_json", "BENCH_SCHEMA", "SUPERVISION_COUNTERS",
+           "supervision_counts"]
 
 
 def monotonic() -> float:
@@ -67,6 +68,23 @@ workers or broken pipes, ``quarantined`` counts items that exhausted
 their retry budget, ``resumed`` counts items served from a checkpoint
 journal, and ``checkpointed`` counts successful items appended to one.
 """
+
+
+_COUNTER_SINK = None
+"""Optional ``(name, increment)`` callable mirroring every counter bump.
+
+The compatibility shim behind :mod:`repro.observability.metrics`: when
+the metrics registry is enabled it installs itself here, so the legacy
+``Profiler.count`` call sites double as metric emitters — even while
+the profiler itself is disabled.  ``None`` (the default) costs the hot
+path one global load.
+"""
+
+
+def set_counter_sink(sink) -> None:
+    """Install (or clear, with ``None``) the counter mirror callable."""
+    global _COUNTER_SINK
+    _COUNTER_SINK = sink
 
 
 def supervision_counts(profiler: Optional["Profiler"] = None
@@ -129,7 +147,14 @@ class Profiler:
         self.phases.setdefault(name, PhaseStat()).add(seconds, calls)
 
     def count(self, name: str, increment: int = 1) -> None:
-        """Bump counter ``name`` by ``increment`` (no-op if disabled)."""
+        """Bump counter ``name`` by ``increment`` (no-op if disabled).
+
+        Always mirrored to the installed counter sink (the metrics
+        registry's compatibility shim) before the enabled check, so
+        metrics collection does not require ``--profile``.
+        """
+        if _COUNTER_SINK is not None:
+            _COUNTER_SINK(name, increment)
         if not self.enabled:
             return
         self.counters[name] = self.counters.get(name, 0) + increment

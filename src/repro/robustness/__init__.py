@@ -19,7 +19,8 @@ See ``docs/robustness.md`` for the fault taxonomy, the degradation
 ladder, and campaign supervision/resume end to end.
 """
 
-from .checkpoint import JOURNAL_SCHEMA, CheckpointJournal, content_key
+from .checkpoint import (JOURNAL_SCHEMA, CheckpointJournal, content_key,
+                         journal_summary)
 from .errors import (AcquisitionError, AnalysisError, CampaignError,
                      CaptureQualityError, CheckpointError,
                      ConfigurationError, ConvergenceError, ModelFormatError,
@@ -56,6 +57,7 @@ __all__ = [
     "assess_capture",
     "clipping_ratio",
     "content_key",
+    "journal_summary",
     "exit_code_for",
     "screen_repetitions",
 ]

@@ -43,7 +43,8 @@ from typing import Any, Dict, Iterator, List, Optional
 
 from .errors import CheckpointError
 
-__all__ = ["JOURNAL_SCHEMA", "CheckpointJournal", "content_key"]
+__all__ = ["JOURNAL_SCHEMA", "CheckpointJournal", "content_key",
+           "journal_summary"]
 
 JOURNAL_SCHEMA = "repro-checkpoint/1"
 """Schema tag stamped into every journal's header record."""
@@ -64,6 +65,57 @@ def content_key(*parts: object) -> str:
         hasher.update(len(data).to_bytes(8, "little"))
         hasher.update(data)
     return hasher.hexdigest()
+
+
+def journal_summary(path: str) -> Dict[str, Any]:
+    """Lightweight digest of a journal file for run reports.
+
+    Reads the header and counts records *without unpickling payloads*
+    (a report must never execute pickle from a journal it is merely
+    describing).  Record lines only need to parse as JSON and carry the
+    record keys; checksums are not re-verified — resuming is the
+    integrity gate, reporting is not.  A torn trailing line is counted
+    separately, matching the loader's truncation policy.  Raises
+    :class:`~repro.robustness.errors.CheckpointError` for a missing
+    file, missing header, or wrong schema.
+    """
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+    except OSError as exc:
+        raise CheckpointError(f"{path}: cannot read journal ({exc})")
+    lines = raw.split(b"\n")
+    body, tail = lines[:-1], lines[-1]
+    if not body:
+        raise CheckpointError(f"{path}: journal has no header record")
+    try:
+        header = json.loads(body[0])
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise CheckpointError(f"{path}:1: corrupt journal header ({exc})")
+    if header.get("schema") != JOURNAL_SCHEMA:
+        raise CheckpointError(
+            f"{path}: unsupported journal schema "
+            f"{header.get('schema')!r} (expected {JOURNAL_SCHEMA!r})")
+    records = 0
+    malformed = 0
+    for line in body[1:]:
+        try:
+            record = json.loads(line)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            malformed += 1
+            continue
+        if isinstance(record, dict) and "key" in record:
+            records += 1
+        else:
+            malformed += 1
+    return {
+        "path": str(path),
+        "schema": JOURNAL_SCHEMA,
+        "meta": dict(header.get("meta", {})),
+        "records": records,
+        "malformed": malformed,
+        "torn_tail": bool(tail),
+    }
 
 
 class CheckpointJournal:

@@ -44,6 +44,8 @@ from tools.analysis.rules.hygiene import (  # noqa: E402
     AnnotationCoverageRule, DocstringCoverageRule)
 from tools.analysis.rules.numeric import (  # noqa: E402
     AggregateDivisionRule, DtypeDowncastRule, FloatEqualityRule)
+from tools.analysis.rules.observability import (  # noqa: E402
+    CampaignManifestRule, MetricReferenceRule, extract_names)
 
 # config that points every path-scoped rule at the fixture file
 EVERYWHERE = replace(
@@ -617,6 +619,177 @@ class TestDocRules:
         found = list(CliReferenceRule().check_project(
             Project(root=str(tmp_path), config=config)))
         assert any("train" in message for _, _, message in found)
+
+
+# ---------------------------------------------------------------------------
+# observability family
+# ---------------------------------------------------------------------------
+class TestCampaignManifest:
+    CONFIG = replace(EVERYWHERE, campaign_modules=[""])
+
+    def test_positive_unrecorded_entry_point(self):
+        result = scan(
+            """
+            from repro.parallel import supervised_map
+
+            def run_campaign(items):
+                results, ledger = supervised_map(work, items, timeout=5.0)
+                return results
+            """, CampaignManifestRule(), self.CONFIG)
+        assert rule_ids(result) == ["A501"]
+        assert "run_campaign" in result.findings[0].message
+
+    def test_positive_nested_helper_fanout(self):
+        # the fan-out hiding inside a nested def still belongs to the
+        # public entry point that contains it
+        result = scan(
+            """
+            from repro.parallel import supervised_map
+
+            def sweep(pairs):
+                def run(journal):
+                    return supervised_map(work, pairs, timeout=None)
+                return run(None)
+            """, CampaignManifestRule(), self.CONFIG)
+        assert rule_ids(result) == ["A501"]
+
+    def test_negative_record_campaign(self):
+        result = scan(
+            """
+            from repro.observability import record_campaign
+            from repro.parallel import supervised_map
+
+            def run_campaign(items):
+                with record_campaign("demo", {"campaign": "demo"}) as rec:
+                    results, ledger = supervised_map(work, items,
+                                                     timeout=5.0)
+                    rec.ledger(ledger)
+                return results
+            """, CampaignManifestRule(), self.CONFIG)
+        assert result.findings == []
+
+    def test_negative_recorder_parameter(self):
+        result = scan(
+            """
+            from repro.parallel import parallel_map
+
+            def run_campaign(items, recorder=None):
+                return parallel_map(work, items, timeout=None)
+            """, CampaignManifestRule(), self.CONFIG)
+        assert result.findings == []
+
+    def test_negative_private_and_method(self):
+        result = scan(
+            """
+            from repro.parallel import supervised_map
+
+            def _helper(items):
+                return supervised_map(work, items, timeout=None)
+
+            class Trainer:
+                def measure(self, items):
+                    return supervised_map(work, items, timeout=None)
+            """, CampaignManifestRule(), self.CONFIG)
+        assert result.findings == []
+
+    def test_negative_no_fanout(self):
+        result = scan(
+            "def compute(items):\n    return [work(i) for i in items]\n",
+            CampaignManifestRule(), self.CONFIG)
+        assert result.findings == []
+
+    def test_negative_outside_campaign_modules(self):
+        result = scan(
+            "from repro.parallel import supervised_map\n"
+            "def run(items):\n"
+            "    return supervised_map(work, items, timeout=None)\n",
+            CampaignManifestRule())  # EVERYWHERE keeps the real paths
+        assert result.findings == []
+
+    def test_suppressed(self):
+        result = scan(
+            """
+            from repro.parallel import supervised_map
+
+            # repro: allow[A501] interactive probe, never manifest-worthy
+            def explore(items):
+                return supervised_map(work, items, timeout=None)
+            """, CampaignManifestRule(), self.CONFIG)
+        assert result.findings == []
+        assert rule_ids_suppressed(result) == ["A501"]
+
+
+class TestMetricReference:
+    SOURCE = textwrap.dedent("""
+        def run(profiler, category):
+            profiler.count("demo.items", 3)
+            with profiler.phase("demo.fit"):
+                pass
+            profiler.count(f"demo.{category}.hits")
+            total = "xyz".count("y")
+        """)
+
+    def _project(self, tmp_path, table):
+        package = tmp_path / "src" / "repro"
+        package.mkdir(parents=True)
+        (package / "mod.py").write_text(self.SOURCE)
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "observability.md").write_text(table)
+        return Project(root=str(tmp_path), config=AnalysisConfig())
+
+    @staticmethod
+    def _table(*names):
+        rows = "\n".join(f"| `{name}` | counter |" for name in names)
+        return ("# Names\n\n<!-- name-reference:begin -->\n\n"
+                "| name | kind |\n|---|---|\n" + rows +
+                "\n\n<!-- name-reference:end -->\n")
+
+    def test_extract_names_normalizes_fstrings(self, tmp_path):
+        project = self._project(tmp_path, self._table())
+        names = extract_names(project.root)
+        assert names == {"demo.items", "demo.fit", "demo.<category>.hits"}
+
+    def test_negative_table_in_sync(self, tmp_path):
+        project = self._project(tmp_path, self._table(
+            "demo.items", "demo.fit", "demo.<category>.hits"))
+        assert list(MetricReferenceRule().check_project(project)) == []
+
+    def test_positive_missing_row(self, tmp_path):
+        project = self._project(tmp_path, self._table(
+            "demo.items", "demo.fit"))
+        found = list(MetricReferenceRule().check_project(project))
+        assert len(found) == 1
+        assert "demo.<category>.hits" in found[0][2]
+        assert "missing" in found[0][2]
+
+    def test_positive_stale_row(self, tmp_path):
+        project = self._project(tmp_path, self._table(
+            "demo.items", "demo.fit", "demo.<category>.hits",
+            "demo.removed"))
+        found = list(MetricReferenceRule().check_project(project))
+        assert len(found) == 1
+        assert "demo.removed" in found[0][2]
+        assert "no longer emitted" in found[0][2]
+
+    def test_positive_missing_markers(self, tmp_path):
+        project = self._project(tmp_path, "# Names\n\nno markers here\n")
+        found = list(MetricReferenceRule().check_project(project))
+        assert len(found) == 1
+        assert "markers" in found[0][2]
+
+    def test_positive_missing_file(self, tmp_path):
+        project = self._project(tmp_path, self._table())
+        os.unlink(os.path.join(project.root, "docs", "observability.md"))
+        found = list(MetricReferenceRule().check_project(project))
+        assert len(found) == 1
+        assert "missing docs/observability.md" in found[0][2]
+
+    def test_reference_in_sync_on_this_repo(self):
+        config = load_config(REPO_ROOT)
+        found = list(MetricReferenceRule().check_project(
+            Project(root=REPO_ROOT, config=config)))
+        assert found == []
 
 
 # ---------------------------------------------------------------------------

@@ -19,6 +19,7 @@ from .docs import CliReferenceRule, DocLinkRule
 from .hygiene import AnnotationCoverageRule, DocstringCoverageRule
 from .numeric import (AggregateDivisionRule, DtypeDowncastRule,
                       FloatEqualityRule)
+from .observability import CampaignManifestRule, MetricReferenceRule
 
 
 def all_rules() -> List[Rule]:
@@ -41,5 +42,7 @@ def all_rules() -> List[Rule]:
         DocLinkRule(),
         CliReferenceRule(),
         AnnotationCoverageRule(),
+        CampaignManifestRule(),
+        MetricReferenceRule(),
     ]
     return sorted(rules, key=lambda rule: rule.rule_id)

@@ -1,0 +1,31 @@
+#!/usr/bin/env python
+"""Convenience gate for the observability rules (``A501``/``A502``).
+
+Thin wrapper over ``python -m tools.analysis --select A501,A502`` with
+the classic 0-ok / 1-findings exit contract: ``A501`` checks that every
+campaign entry point participates in run recording, ``A502`` checks
+that the instrumentation name-reference table in
+``docs/observability.md`` matches the span/counter/gauge/histogram
+names the source actually emits.  ``make lint`` runs the full analyzer
+(these passes included); this wrapper exists for quick focused runs
+while editing instrumentation or its docs.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, REPO_ROOT)
+
+from tools.analysis.cli import main  # noqa: E402
+
+
+def run() -> int:
+    """Delegate to the A501/A502 passes with the legacy exit codes."""
+    return 1 if main(["--select", "A501,A502"]) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())
