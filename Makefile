@@ -27,19 +27,20 @@ docs:
 
 # Not part of `check` (runs a few minutes): the sequential-vs-batched
 # campaign benchmark (BENCH_sim.json), the model-building fast-path
-# benchmark (BENCH_train.json), the supervised-campaign
-# survival/resume benchmark (BENCH_resume.json), and the run-record
-# overhead benchmark (BENCH_observability.json) under
-# benchmarks/results/.
+# benchmark (BENCH_train.json), the columnar trace-engine benchmark
+# (BENCH_trace.json), the supervised-campaign survival/resume
+# benchmark (BENCH_resume.json), and the run-record overhead
+# benchmark (BENCH_observability.json) under benchmarks/results/.
 bench:
 	cd benchmarks && $(PYTHON) -m pytest test_perf_campaign.py \
-		test_perf_training.py test_robustness_resume.py \
-		test_perf_observability.py -x -q
+		test_perf_training.py test_perf_trace.py \
+		test_robustness_resume.py test_perf_observability.py -x -q
 
-# Tiny-size smoke runs of the training, resume, and observability
-# benchmarks (seconds, not minutes); they write BENCH_*.quick.json so
-# the committed full-size artifacts are never clobbered.
+# Tiny-size smoke runs of the training, trace, resume, and
+# observability benchmarks (seconds, not minutes); they write
+# BENCH_*.quick.json so the committed full-size artifacts are never
+# clobbered.
 bench-quick:
 	cd benchmarks && REPRO_BENCH_QUICK=1 $(PYTHON) -m pytest \
-		test_perf_training.py test_robustness_resume.py \
-		test_perf_observability.py -x -q
+		test_perf_training.py test_perf_trace.py \
+		test_robustness_resume.py test_perf_observability.py -x -q

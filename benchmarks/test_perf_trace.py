@@ -1,0 +1,77 @@
+"""Perf: the columnar activity-trace engine vs the legacy recording path.
+
+The acceptance claims for the trace engine (docs/architecture.md):
+
+* cold single-thread simulation records at least **2x** faster with the
+  columnar trace than with the seed's object-graph path (kept as
+  ``LegacyActivityTrace``, the bit-identity oracle),
+* a serialized trace in the ``repro-trace/1`` codec is at least **3x**
+  smaller than the legacy trace's pickle,
+* a disk-cache hit deserializes at least **2x** faster through
+  ``decode_trace`` than through ``pickle.loads``.
+
+The measurement core (``repro.core.tracebench.run_trace_bench``, shared
+with ``repro bench --mode trace``) asserts bit-identity between the two
+recording paths on both cores and codec round-trip byte-stability
+before reporting any ratio, so the speedups cannot come from computing
+something different.  Emits the machine-readable
+``benchmarks/results/BENCH_trace.json`` report (schema
+``repro-bench/1``).  ``REPRO_BENCH_QUICK=1`` lowers the repetition
+count so the bench fits the tier-1 time budget (``make bench-quick``)
+and writes ``BENCH_trace.quick.json`` instead, keeping the committed
+full-size artifact intact.
+"""
+
+import pytest
+
+from conftest import bench_quick, run_once, write_bench_report
+from repro.core.tracebench import run_trace_bench
+from repro.profiling import disable_profiling, enable_profiling
+
+QUICK = bench_quick()
+REPS = 3 if QUICK else 9
+SIMULATE_FLOOR = 2.0
+SIZE_FLOOR = 3.0
+DECODE_FLOOR = 2.0
+
+
+@pytest.mark.benchmark(group="perf")
+def test_trace_engine_speedup(benchmark, record):
+    def experiment():
+        profiler = enable_profiling()
+        profiler.reset()
+        try:
+            metrics = run_trace_bench(kernel="crc32", reps=REPS)
+        finally:
+            disable_profiling()
+        return write_bench_report("trace", metadata=metrics,
+                                  profiler=profiler)
+
+    document = run_once(benchmark, experiment)
+    lines = [f"trace engine on 'crc32', best of {REPS} reps"
+             + (" (quick mode)" if QUICK else ""),
+             f"cold simulate (in-order): legacy "
+             f"{document['legacy_simulate_seconds'] * 1e3:7.1f} ms, "
+             f"columnar "
+             f"{document['columnar_simulate_seconds'] * 1e3:7.1f} ms "
+             f"({document['simulate_speedup']:.2f}x, floor "
+             f"{SIMULATE_FLOOR:.1f}x)",
+             f"cold simulate (OoO): "
+             f"{document['simulate_speedup_ooo']:.2f}x",
+             f"serialized trace: pickle "
+             f"{document['legacy_pickle_bytes']} B, codec "
+             f"{document['encoded_bytes']} B "
+             f"({document['size_ratio']:.1f}x, floor {SIZE_FLOOR:.1f}x)",
+             f"cache-hit deserialize: unpickle "
+             f"{document['unpickle_seconds'] * 1e3:6.2f} ms, decode "
+             f"{document['decode_seconds'] * 1e3:6.2f} ms "
+             f"({document['decode_speedup']:.2f}x, floor "
+             f"{DECODE_FLOOR:.1f}x)",
+             f"derived views rebuild: "
+             f"{document['derive_speedup']:.2f}x",
+             f"bit-identical: {document['bit_identical']}"]
+    record("perf_trace", "\n".join(lines))
+    assert document["bit_identical"]
+    assert document["simulate_speedup"] >= SIMULATE_FLOOR
+    assert document["size_ratio"] >= SIZE_FLOOR
+    assert document["decode_speedup"] >= DECODE_FLOOR

@@ -58,8 +58,7 @@ def stage_flip_counts(trace: ActivityTrace) -> Dict[str, np.ndarray]:
 
 def stage_class_labels(trace: ActivityTrace) -> Dict[str, List[str]]:
     """Per-stage per-cycle behavioural class labels."""
-    return {stage: [occ.em_class() for occ in trace.occupancy[stage]]
-            for stage in STAGES}
+    return {stage: trace.em_classes(stage) for stage in STAGES}
 
 
 def average_alpha(flips_new: np.ndarray, flips_base: float,

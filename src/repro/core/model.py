@@ -105,14 +105,18 @@ class EMSimModel:
             amplitudes = np.zeros(cycles)
             stalled = np.zeros(cycles, dtype=bool)
             cache: Dict[str, float] = {}
-            for cycle, occ in enumerate(trace.occupancy[stage]):
-                em_class = occ.em_class()
+            occupancy = None
+            for cycle, em_class in enumerate(trace.em_classes(stage)):
                 if em_class == "stall":
                     if switches.model_stalls:
                         stalled[cycle] = True
                         continue
                     # ablation: pretend the stalled instruction kept
-                    # switching at full activity
+                    # switching at full activity (the occupancy objects
+                    # materialize only on this rarely-taken path)
+                    if occupancy is None:
+                        occupancy = trace.occupancy[stage]
+                    occ = occupancy[cycle]
                     em_class = (occ.instr.cls.value if occ.instr is not None
                                 else "nop")
                     if occ.instr is not None and occ.instr.is_load:

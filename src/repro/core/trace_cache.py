@@ -17,8 +17,12 @@ depend on the emitter).  The program *name* is deliberately excluded:
 two identically-encoded programs share an entry.  Invalidation is
 therefore automatic — touch any input and the key changes.
 
-Storage is a bounded in-memory LRU with an optional on-disk pickle
-layer (one file per digest, written atomically), and every lookup feeds
+Storage is a bounded in-memory LRU with an optional on-disk layer (one
+file per digest, written atomically).  Activity traces are written as
+compact ``repro-trace/1`` codec bytes; every other artifact kind is
+pickled.  Reads discriminate by the codec magic, so legacy pickle
+entries — including pre-columnar traces — keep loading, and a corrupt
+or truncated file of either flavour is just a miss.  Every lookup feeds
 hit/miss counters into :mod:`repro.profiling` so ``--profile`` shows
 cache effectiveness per category.
 """
@@ -40,6 +44,9 @@ import numpy as np
 from ..isa.program import Program
 from ..profiling import get_profiler
 from ..uarch.config import CoreConfig
+from ..uarch.trace import ActivityTrace
+from ..uarch.tracecodec import (TraceCodecError, decode_trace, encode_trace,
+                                is_encoded_trace)
 
 
 @lru_cache(maxsize=128)
@@ -132,9 +139,10 @@ class TraceCache:
 
     ``capacity`` bounds the in-memory layer (least recently used entry
     evicted first).  When ``directory`` is set, every stored value is
-    also pickled to ``<directory>/<digest>.pkl`` with an atomic
-    rename, and in-memory misses fall through to disk; a corrupt or
-    unreadable file is treated as a miss.  ``enabled=False`` turns every
+    also written to ``<directory>/<digest>.pkl`` with an atomic rename
+    — activity traces as raw ``repro-trace/1`` codec bytes, everything
+    else pickled — and in-memory misses fall through to disk; a corrupt
+    or unreadable file of either format is treated as a miss.  ``enabled=False`` turns every
     lookup into a miss without touching storage, which is how the
     ``--no-trace-cache`` flag and :func:`trace_cache_disabled` work.
     """
@@ -214,25 +222,44 @@ class TraceCache:
         return os.path.join(self.directory, f"{key}.pkl")
 
     def _read_disk(self, key: str) -> Optional[Any]:
-        """Load a pickled entry, returning ``None`` for any failure."""
+        """Load a disk entry, returning ``None`` for any failure.
+
+        The first bytes discriminate the format: the ``repro-trace/1``
+        magic means raw codec bytes (the fast path for traces), anything
+        else is a pickle — which still covers legacy entries written
+        before the codec existed.
+        """
         try:
             with open(self._path(key), "rb") as handle:
-                return pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError,
-                AttributeError, ImportError):
+                payload = handle.read()
+            if is_encoded_trace(payload):
+                return decode_trace(payload)
+            return pickle.loads(payload)
+        except (OSError, TraceCodecError, pickle.UnpicklingError,
+                EOFError, AttributeError, ImportError):
             return None
 
     def _write_disk(self, key: str, value: Any) -> None:
-        """Atomically pickle an entry (tmp file + rename); best-effort —
-        a full or read-only cache directory must never fail the run."""
+        """Atomically write an entry (tmp file + rename); best-effort —
+        a full or read-only cache directory must never fail the run.
+
+        Bare activity traces are serialized as ``repro-trace/1`` codec
+        bytes (several times smaller and faster to load than their
+        pickle); other artifact kinds — measurements, tuples, arrays —
+        go through pickle, inside which any embedded trace still
+        auto-compacts via :meth:`ActivityTrace.__reduce__`.
+        """
         with contextlib.suppress(OSError):
             os.makedirs(self.directory, exist_ok=True)
             handle = tempfile.NamedTemporaryFile(
                 mode="wb", dir=self.directory, suffix=".tmp", delete=False)
             try:
                 with handle:
-                    pickle.dump(value, handle,
-                                protocol=pickle.HIGHEST_PROTOCOL)
+                    if isinstance(value, ActivityTrace):
+                        handle.write(encode_trace(value))
+                    else:
+                        pickle.dump(value, handle,
+                                    protocol=pickle.HIGHEST_PROTOCOL)
                 os.replace(handle.name, self._path(key))
             except BaseException:
                 with contextlib.suppress(OSError):

@@ -1,0 +1,156 @@
+"""Measurement core for ``repro bench --mode trace``.
+
+Times the columnar activity-trace engine against the seed's
+object-graph recording path (kept as
+:class:`~repro.uarch.trace.LegacyActivityTrace`) on one fixed workload,
+and the ``repro-trace/1`` codec against the legacy trace pickle.  The
+acceptance claims (docs/architecture.md):
+
+* cold single-thread ``simulate`` at least **2x** faster columnar,
+* serialized traces at least **3x** smaller than the legacy pickle,
+* disk-cache hit deserialization at least **2x** faster than unpickling.
+
+Every timed pair is also checked for **bit-identity** — the columnar
+trace must reproduce the legacy path's latch matrices, transition
+matrices, occupancy views, EM-class sequences, and event lists exactly,
+and the codec round trip must be byte-stable — so the speedups can
+never come from computing something different.  Both the CLI bench and
+``benchmarks/test_perf_trace.py`` call :func:`run_trace_bench`.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Callable, Dict, Tuple
+
+import numpy as np
+
+from ..profiling import monotonic
+from ..uarch import (STAGES, decode_trace, encode_trace, run_program,
+                     run_program_ooo)
+from ..workloads import ALL_KERNELS
+
+
+def _paired_best(baseline: Callable[[], Any],
+                 candidate: Callable[[], Any],
+                 reps: int) -> Tuple[float, float]:
+    """Best-of-``reps`` wall times of an interleaved baseline/candidate
+    pair.
+
+    The two arms alternate within every repetition rather than running
+    as separate blocks, so machine-load drift (thermal throttling, a
+    co-scheduled job appearing mid-bench) hits both arms alike instead
+    of skewing whichever block it lands on.
+    """
+    best_baseline = best_candidate = float("inf")
+    for _ in range(reps):
+        start = monotonic()
+        baseline()
+        best_baseline = min(best_baseline, monotonic() - start)
+        start = monotonic()
+        candidate()
+        best_candidate = min(best_candidate, monotonic() - start)
+    return best_baseline, best_candidate
+
+
+def assert_traces_identical(legacy: Any, columnar: Any) -> None:
+    """Assert the columnar trace is bit-identical to the legacy oracle."""
+    assert legacy.num_cycles == columnar.num_cycles
+    for stage in STAGES:
+        assert np.array_equal(legacy.values_matrix(stage),
+                              np.asarray(columnar.values_matrix(stage)))
+        assert np.array_equal(legacy.transition_matrix(stage),
+                              columnar.transition_matrix(stage))
+        assert legacy.stage_kinds(stage) == columnar.stage_kinds(stage)
+        assert legacy.em_classes(stage) == columnar.em_classes(stage)
+        assert list(legacy.occupancy[stage]) == \
+            list(columnar.occupancy[stage])
+    assert np.array_equal(legacy.total_flip_counts(),
+                          columnar.total_flip_counts())
+    assert legacy.stalls == columnar.stalls
+    assert legacy.cache_events == columnar.cache_events
+    assert legacy.branch_events == columnar.branch_events
+    assert legacy.flushes == columnar.flushes
+    assert [(entry.seq, entry.pc, entry.instr, entry.cycle)
+            for entry in legacy.retired] == \
+        [(entry.seq, entry.pc, entry.instr, entry.cycle)
+         for entry in columnar.retired]
+
+
+def run_trace_bench(kernel: str = "crc32",
+                    reps: int = 9) -> Dict[str, Any]:
+    """Run the trace-engine benchmark and return its metrics document.
+
+    ``kernel`` names a :data:`repro.workloads.ALL_KERNELS` workload;
+    ``reps`` is the best-of repetition count for every timed section.
+    Bit-identity between the legacy and columnar paths (both cores) and
+    codec round-trip byte-stability are asserted before any ratio is
+    reported.
+    """
+    program = ALL_KERNELS[kernel]()
+
+    # -- correctness gates: identity on both cores, byte-stable codec --
+    legacy_trace, _ = run_program(program, legacy_trace=True)
+    columnar_trace, _ = run_program(program)
+    assert_traces_identical(legacy_trace, columnar_trace)
+    legacy_ooo, _ = run_program_ooo(program, legacy_trace=True)
+    columnar_ooo, _ = run_program_ooo(program)
+    assert_traces_identical(legacy_ooo, columnar_ooo)
+
+    payload = encode_trace(columnar_trace)
+    decoded = decode_trace(payload)
+    assert encode_trace(decoded) == payload
+    assert_traces_identical(legacy_trace, decoded)
+
+    # -- cold simulate: full run_program including trace recording -----
+    legacy_seconds, columnar_seconds = _paired_best(
+        lambda: run_program(program, legacy_trace=True),
+        lambda: run_program(program), reps)
+    ooo_legacy_seconds, ooo_columnar_seconds = _paired_best(
+        lambda: run_program_ooo(program, legacy_trace=True),
+        lambda: run_program_ooo(program), reps)
+
+    # -- serialized size: codec bytes vs the legacy trace's pickle -----
+    legacy_pickle = pickle.dumps(legacy_trace,
+                                 protocol=pickle.HIGHEST_PROTOCOL)
+    encoded_bytes = len(payload)
+    pickled_bytes = len(legacy_pickle)
+
+    # -- disk-cache hit latency: deserialization of a cached trace ----
+    unpickle_seconds, decode_seconds = _paired_best(
+        lambda: pickle.loads(legacy_pickle),
+        lambda: decode_trace(payload), reps)
+
+    # -- derived views: vectorized vs per-register transition build ----
+    def derive(trace):
+        trace._transition_cache.clear()
+        for stage in STAGES:
+            trace.transition_matrix(stage)
+
+    derive_legacy_seconds, derive_columnar_seconds = _paired_best(
+        lambda: derive(legacy_trace),
+        lambda: derive(columnar_trace), reps)
+
+    return {
+        "benchmark": "trace_engine",
+        "kernel": kernel,
+        "reps": reps,
+        "cycles": columnar_trace.num_cycles,
+        "cycles_ooo": columnar_ooo.num_cycles,
+        "legacy_simulate_seconds": legacy_seconds,
+        "columnar_simulate_seconds": columnar_seconds,
+        "simulate_speedup": legacy_seconds / columnar_seconds,
+        "legacy_simulate_seconds_ooo": ooo_legacy_seconds,
+        "columnar_simulate_seconds_ooo": ooo_columnar_seconds,
+        "simulate_speedup_ooo": ooo_legacy_seconds / ooo_columnar_seconds,
+        "encoded_bytes": encoded_bytes,
+        "legacy_pickle_bytes": pickled_bytes,
+        "size_ratio": pickled_bytes / encoded_bytes,
+        "decode_seconds": decode_seconds,
+        "unpickle_seconds": unpickle_seconds,
+        "decode_speedup": unpickle_seconds / decode_seconds,
+        "derive_legacy_seconds": derive_legacy_seconds,
+        "derive_columnar_seconds": derive_columnar_seconds,
+        "derive_speedup": derive_legacy_seconds / derive_columnar_seconds,
+        "bit_identical": True,
+    }

@@ -325,8 +325,9 @@ class Trainer:
         """Cycles where dynamic instruction ``seq`` is *active* in
         ``stage`` (multi-cycle units are active on first and final
         cycles)."""
-        return [cycle for cycle, occ in enumerate(trace.occupancy[stage])
-                if occ.seq == seq and occ.active]
+        active = trace.active_mask(stage)
+        return [cycle for cycle in trace.cycles_of(seq, stage)
+                if active[cycle]]
 
     # ------------------------------------------------------------------
     # training stages
@@ -409,11 +410,10 @@ class Trainer:
         # steady NOP cycles: every stage flows a NOP while fetch is still
         # running (probe padding zone) — drain cycles after the last fetch
         # are quieter and would bias the level down
-        nop_cycles = [cycle for cycle in range(trace.num_cycles)
-                      if all(occ.em_class() == "nop"
-                             for occ in (trace.occupancy[stage][cycle]
-                                         for stage in STAGES))
-                      and trace.occupancy["F"][cycle].active]
+        all_nop = trace.active_mask("F").copy()
+        for stage in STAGES:
+            all_nop &= np.asarray(trace.em_classes(stage)) == "nop"
+        nop_cycles = np.nonzero(all_nop)[0].tolist()
         if not nop_cycles:
             raise ProbeError("no all-NOP cycles found in probe")
         return float(np.median(amplitudes[nop_cycles]))
@@ -446,10 +446,10 @@ class Trainer:
                 # second load of the double probe (first primes the line)
                 seq = seq + 1 + 6  # first load + padding NOPs
             for stage in STAGES:
+                labels = trace.em_classes(stage)
                 for cycle in self._active_cycles(trace, seq, stage):
                     delta = float(amplitudes[cycle]) - nop_level
-                    label = trace.occupancy[stage][cycle].em_class()
-                    note(label, stage, delta)
+                    note(labels[cycle], stage, delta)
                     flip_rows[stage].append(
                         float(trace.flip_counts(stage)[cycle]))
             self._log(f"A probe {cls}: done")
@@ -500,9 +500,9 @@ class Trainer:
             trace = measurement.trace
             seq = probe_instruction_seq(program)
             for stage in STAGES:
+                labels = trace.em_classes(stage)
                 for cycle in self._active_cycles(trace, seq, stage):
-                    occ = trace.occupancy[stage][cycle]
-                    base = amplitudes.get((occ.em_class(), stage))
+                    base = amplitudes.get((labels[cycle], stage))
                     if base is None:
                         base = amplitudes.get((cls, stage))
                     if base is None or abs(base) < _AMPLITUDE_EPS:

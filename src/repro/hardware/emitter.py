@@ -45,9 +45,7 @@ class HardwareEmitter:
         cycles = trace.num_cycles
         transitions = {stage: trace.transition_matrix(stage)
                        for stage in STAGES}
-        classes = {stage: [occ.em_class()
-                           for occ in trace.occupancy[stage]]
-                   for stage in STAGES}
+        classes = {stage: trace.em_classes(stage) for stage in STAGES}
         amplitudes = np.zeros((cycles, len(self.units)))
         for column, unit in enumerate(self.units):
             static = np.fromiter(

@@ -16,7 +16,6 @@ from . import encoding
 from .registers import register_name
 from .spec import OPCODES, InstrClass, InstrFormat, OpSpec
 
-
 @dataclass(frozen=True)
 class Instruction:
     """One decoded RV32IM instruction."""
@@ -30,90 +29,79 @@ class Instruction:
     def __post_init__(self) -> None:
         if self.name not in OPCODES:
             raise ValueError(f"unknown mnemonic: {self.name!r}")
+        self._derive()
 
     # ------------------------------------------------------------------
-    # static properties
+    # derived statics
     # ------------------------------------------------------------------
-    @property
-    def spec(self) -> OpSpec:
-        """The static :class:`OpSpec` for this mnemonic."""
-        return OPCODES[self.name]
+    # Every static derivation (spec, class predicates, register usage)
+    # is computed once in __post_init__ and stored as a plain instance
+    # attribute via object.__setattr__: an Instruction is frozen, its
+    # derivations are pure, and the pipeline reads them millions of
+    # times per campaign — a dict lookup beats a property call several
+    # times over.  __getstate__ strips them so pickles carry only the
+    # declared fields; __setstate__ re-derives on load.
 
-    @property
-    def fmt(self) -> InstrFormat:
-        """Encoding format."""
-        return self.spec.fmt
+    # Attributes set by _derive (not dataclass fields): spec, fmt, cls,
+    # is_load, is_store, is_branch, is_jump, is_muldiv, is_control_flow,
+    # is_nop, source_registers, destination_register, unique_sources.
 
-    @property
-    def cls(self) -> InstrClass:
-        """Coarse semantic class (ALU / SHIFT / MULDIV / ...)."""
-        return self.spec.cls
-
-    @property
-    def is_load(self) -> bool:
-        return self.cls is InstrClass.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        return self.cls is InstrClass.STORE
-
-    @property
-    def is_branch(self) -> bool:
-        return self.cls is InstrClass.BRANCH
-
-    @property
-    def is_jump(self) -> bool:
-        return self.cls is InstrClass.JUMP
-
-    @property
-    def is_muldiv(self) -> bool:
-        return self.cls is InstrClass.MULDIV
-
-    @property
-    def is_control_flow(self) -> bool:
-        """True for any instruction that may redirect the PC."""
-        return self.is_branch or self.is_jump
-
-    @property
-    def is_nop(self) -> bool:
-        """True for the canonical NOP encoding ``addi x0, x0, 0``."""
-        return (self.name == "addi" and self.rd == 0 and self.rs1 == 0
-                and self.imm == 0)
-
-    # ------------------------------------------------------------------
-    # register usage
-    # ------------------------------------------------------------------
-    @property
-    def source_registers(self) -> Tuple[int, ...]:
-        """Architectural registers read by this instruction (may repeat)."""
-        fmt = self.fmt
-        if fmt is InstrFormat.R:
-            return (self.rs1, self.rs2)
-        if fmt in (InstrFormat.S, InstrFormat.B):
-            return (self.rs1, self.rs2)
-        if fmt is InstrFormat.I:
-            if self.name in ("ecall", "ebreak", "fence"):
-                return ()
-            return (self.rs1,)
-        return ()  # U and J formats read no registers
-
-    @property
-    def destination_register(self) -> Optional[int]:
-        """Architectural register written, or None (x0 counts as None)."""
-        fmt = self.fmt
-        if fmt in (InstrFormat.S, InstrFormat.B):
-            return None
-        if self.name in ("ecall", "ebreak", "fence"):
-            return None
-        return self.rd if self.rd != 0 else None
+    def _derive(self) -> None:
+        """Precompute the static derivations as plain attributes."""
+        setattr_ = object.__setattr__
+        spec = OPCODES[self.name]
+        cls = spec.cls
+        fmt = spec.fmt
+        setattr_(self, "spec", spec)
+        setattr_(self, "fmt", fmt)
+        setattr_(self, "cls", cls)
+        is_branch = cls is InstrClass.BRANCH
+        is_jump = cls is InstrClass.JUMP
+        setattr_(self, "is_load", cls is InstrClass.LOAD)
+        setattr_(self, "is_store", cls is InstrClass.STORE)
+        setattr_(self, "is_branch", is_branch)
+        setattr_(self, "is_jump", is_jump)
+        setattr_(self, "is_muldiv", cls is InstrClass.MULDIV)
+        setattr_(self, "is_control_flow", is_branch or is_jump)
+        setattr_(self, "is_nop", self.name == "addi" and self.rd == 0
+                 and self.rs1 == 0 and self.imm == 0)
+        if fmt in (InstrFormat.R, InstrFormat.S, InstrFormat.B):
+            sources: Tuple[int, ...] = (self.rs1, self.rs2)
+        elif fmt is InstrFormat.I and self.name not in ("ecall", "ebreak",
+                                                        "fence"):
+            sources = (self.rs1,)
+        else:
+            sources = ()  # U and J formats read no registers
+        setattr_(self, "source_registers", sources)
+        if fmt in (InstrFormat.S, InstrFormat.B) or                 self.name in ("ecall", "ebreak", "fence"):
+            dest: Optional[int] = None
+        else:
+            dest = self.rd if self.rd != 0 else None
+        setattr_(self, "destination_register", dest)
+        setattr_(self, "unique_sources", tuple(sorted(set(sources))))
 
     # ------------------------------------------------------------------
     # encoding / rendering
     # ------------------------------------------------------------------
     def encode(self) -> int:
-        """Encode to the 32-bit machine word."""
-        return encoding.encode(self.name, rd=self.rd, rs1=self.rs1,
-                               rs2=self.rs2, imm=self.imm)
+        """Encode to the 32-bit machine word (memoized per instance)."""
+        word = self.__dict__.get("_word")
+        if word is None:
+            word = encoding.encode(self.name, rd=self.rd, rs1=self.rs1,
+                                   rs2=self.rs2, imm=self.imm)
+            object.__setattr__(self, "_word", word)
+        return word
+
+    def __getstate__(self):
+        """Pickle only the declared fields, never the derived statics."""
+        return {"name": self.name, "rd": self.rd, "rs1": self.rs1,
+                "rs2": self.rs2, "imm": self.imm}
+
+    def __setstate__(self, state):
+        """Restore the declared fields, then recompute the derivations."""
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+        self._derive()
 
     @classmethod
     def decode(cls, word: int) -> "Instruction":

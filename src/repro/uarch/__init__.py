@@ -8,16 +8,21 @@ from .events import (BranchEvent, CacheEvent, FlushEvent, StallCause,
                      StallEvent)
 from .isa_exec import (GoldenSimulator, alu_result, branch_taken,
                        control_flow_target, muldiv_result)
-from .latches import (HardwareLatches, STAGES, STAGE_REGISTERS, TOTAL_BITS,
-                      bubble_pattern, control_word, stage_bit_count,
-                      stage_register_offsets)
+from .latches import (HardwareLatches, LegacyHardwareLatches, STAGES,
+                      STAGE_REGISTERS, STAGE_SLICES, TOTAL_BITS,
+                      TOTAL_REGISTERS, bubble_pattern, control_word,
+                      stage_bit_count, stage_register_offsets)
 from .memory import MainMemory
 from .ooo import OutOfOrderCore, run_program_ooo
 from .oracle import OracleOutcomes, collect_oracle
 from .pipeline import Pipeline, run_program
 from .regfile import RegisterFile
-from .trace import (ActivityTrace, OCC_BUBBLE, OCC_INSTR, OCC_STALL,
+from .trace import (ActivityTrace, DYN_FINAL, DYN_HIT, DYN_MISS, DYN_NONE,
+                    EM_CLASSES, KIND_BUBBLE, KIND_INSTR, KIND_STALL,
+                    LegacyActivityTrace, OCC_BUBBLE, OCC_INSTR, OCC_STALL,
                     RetiredInstruction, StageOccupancy, concat_traces)
+from .tracecodec import (TraceCodecError, decode_trace, encode_trace,
+                         is_encoded_trace)
 
 __all__ = [
     "ActivityTrace",
@@ -28,12 +33,22 @@ __all__ = [
     "CacheEvent",
     "CoreConfig",
     "DEFAULT_CONFIG",
+    "DYN_FINAL",
+    "DYN_HIT",
+    "DYN_MISS",
+    "DYN_NONE",
     "DataCache",
     "DirectionPredictor",
+    "EM_CLASSES",
     "FlushEvent",
     "GShare",
     "GoldenSimulator",
     "HardwareLatches",
+    "KIND_BUBBLE",
+    "KIND_INSTR",
+    "KIND_STALL",
+    "LegacyActivityTrace",
+    "LegacyHardwareLatches",
     "MainMemory",
     "OCC_BUBBLE",
     "OCC_INSTR",
@@ -45,10 +60,13 @@ __all__ = [
     "RetiredInstruction",
     "STAGES",
     "STAGE_REGISTERS",
+    "STAGE_SLICES",
     "StageOccupancy",
     "StallCause",
     "StallEvent",
     "TOTAL_BITS",
+    "TOTAL_REGISTERS",
+    "TraceCodecError",
     "TwoLevelAdaptive",
     "alu_result",
     "branch_taken",
@@ -57,6 +75,9 @@ __all__ = [
     "concat_traces",
     "control_flow_target",
     "control_word",
+    "decode_trace",
+    "encode_trace",
+    "is_encoded_trace",
     "make_predictor",
     "muldiv_result",
     "run_program",

@@ -39,11 +39,13 @@ from .events import (BranchEvent, CacheEvent, FlushEvent, StallCause,
                      StallEvent)
 from .isa_exec import (alu_result, branch_taken, control_flow_target,
                        load_width, store_width)
-from .latches import HardwareLatches, STAGES, control_word
+from .latches import (HardwareLatches, LegacyHardwareLatches, STAGES,
+                      control_word)
 from .memory import MainMemory
 from .regfile import RegisterFile
-from .trace import (OCC_BUBBLE, OCC_INSTR, OCC_STALL, ActivityTrace,
-                    RetiredInstruction, StageOccupancy)
+from .trace import (DYN_FINAL, DYN_HIT, DYN_MISS, KIND_BUBBLE, KIND_INSTR,
+                    KIND_STALL, ActivityTrace, LegacyActivityTrace,
+                    RetiredInstruction)
 
 MASK32 = 0xFFFFFFFF
 
@@ -83,7 +85,8 @@ class OutOfOrderCore:
     ROB_SIZE = 16
 
     def __init__(self, program: Program,
-                 config: CoreConfig = DEFAULT_CONFIG):
+                 config: CoreConfig = DEFAULT_CONFIG,
+                 legacy_trace: bool = False):
         self.program = program
         self.config = config
         self.regfile = RegisterFile()
@@ -93,8 +96,14 @@ class OutOfOrderCore:
                                         config.predictor_history_bits,
                                         config.predictor_table_bits)
         self.btb = BranchTargetBuffer(config.btb_entries)
-        self.latches = HardwareLatches()
-        self.trace = ActivityTrace()
+        # legacy_trace selects the seed's object-graph recorder and
+        # dict-backed latches — the reference oracle / bench baseline
+        if legacy_trace:
+            self.latches = LegacyHardwareLatches()
+            self.trace = LegacyActivityTrace()
+        else:
+            self.latches = HardwareLatches()
+            self.trace = ActivityTrace()
 
         self.pc = program.entry
         self.cycle = 0
@@ -123,21 +132,20 @@ class OutOfOrderCore:
     # ------------------------------------------------------------------
     def step(self) -> None:
         """One clock cycle: commit, complete/execute, issue, rename,
-        fetch."""
-        occ: Dict[str, StageOccupancy] = {
-            stage: StageOccupancy(OCC_BUBBLE) for stage in STAGES}
-
-        self._commit(occ)
-        self._execute(occ)
-        self._issue(occ)
-        redirect = self._rename(occ)
-        self._fetch(occ, redirect)
+        fetch.  Stages record occupancy straight into the trace;
+        stages left as bubbles get the bubble latch pattern before the
+        cycle's single latch snapshot."""
+        self.trace.begin_cycle()
+        self._commit()
+        self._execute()
+        self._issue()
+        redirect = self._rename()
+        self._fetch(redirect)
 
         for stage in STAGES:
-            if occ[stage].kind == OCC_BUBBLE:
+            if self.trace.stage_kind_at(stage) == KIND_BUBBLE:
                 self.latches.write_bubble(stage)
-        self.trace.commit_cycle(
-            occ, {stage: self.latches.values(stage) for stage in STAGES})
+        self.trace.end_cycle(self.latches)
         self.cycle += 1
         if self.fetch_halted and not self.rob and self.fetched is None:
             self.halted = True
@@ -145,14 +153,13 @@ class OutOfOrderCore:
     # ------------------------------------------------------------------
     # commit (stage W)
     # ------------------------------------------------------------------
-    def _commit(self, occ: Dict[str, StageOccupancy]) -> None:
+    def _commit(self) -> None:
         if not self.rob:
             return
         head = self.rob[0]
         if not head.completed:
             if head.issued:
-                occ["W"] = StageOccupancy(OCC_STALL, instr=head.instr,
-                                          seq=head.seq)
+                self.trace.record("W", KIND_STALL, head.instr, head.seq)
                 self.trace.stalls.append(StallEvent(
                     cycle=self.cycle, stage="W",
                     cause=StallCause.RAW_HAZARD, seq=head.seq))
@@ -162,13 +169,10 @@ class OutOfOrderCore:
             self.regfile.write(head.writes, head.result)
         if self.producer.get(head.writes) is head:
             del self.producer[head.writes]
-        self.latches.write("W",
-                           wb_data=head.result if head.writes is not None
-                           else 0,
-                           wb_rd=head.writes or 0,
-                           wb_ctrl=1 if head.writes is not None else 0)
-        occ["W"] = StageOccupancy(OCC_INSTR, instr=head.instr,
-                                  seq=head.seq)
+        self.latches.write_writeback(
+            head.result if head.writes is not None else 0,
+            head.writes or 0, 1 if head.writes is not None else 0)
+        self.trace.record("W", KIND_INSTR, head.instr, head.seq)
         self.trace.retired.append(RetiredInstruction(
             seq=head.seq, pc=head.pc, instr=head.instr, cycle=self.cycle))
         if head.instr.name in ("ecall", "ebreak"):
@@ -213,7 +217,7 @@ class OutOfOrderCore:
         return all(self._operand_value(entry, reg)[0]
                    for reg in entry.operands)
 
-    def _execute(self, occ: Dict[str, StageOccupancy]) -> None:
+    def _execute(self) -> None:
         # multi-cycle units tick down
         for attribute in ("muldiv_busy", "lsu_busy"):
             entry = getattr(self, attribute)
@@ -221,26 +225,26 @@ class OutOfOrderCore:
                 continue
             entry.remaining -= 1
             if entry.remaining > 0:
-                stage = "M" if attribute == "lsu_busy" else "E"
-                dyn = None
                 if attribute == "lsu_busy":
-                    dyn = "hit" if entry.mem_hit else "miss"
-                occ[stage] = StageOccupancy(OCC_STALL, instr=entry.instr,
-                                            seq=entry.seq, dyn=dyn)
+                    self.trace.record(
+                        "M", KIND_STALL, entry.instr, entry.seq,
+                        DYN_HIT if entry.mem_hit else DYN_MISS)
+                else:
+                    self.trace.record("E", KIND_STALL, entry.instr,
+                                      entry.seq)
                 continue
             # completes this cycle
             entry.completed = True
             if attribute == "muldiv_busy":
                 self.latches.write("E", alu_out=entry.result,
                                    muldiv_lo=entry.result)
-                occ["E"] = StageOccupancy(OCC_INSTR, instr=entry.instr,
-                                          seq=entry.seq, dyn="final")
+                self.trace.record("E", KIND_INSTR, entry.instr,
+                                  entry.seq, DYN_FINAL)
             else:
                 if entry.instr.is_load:
-                    self.latches.write("M", mem_rdata=entry.result)
-                occ["M"] = StageOccupancy(
-                    OCC_STALL, instr=entry.instr, seq=entry.seq,
-                    dyn="hit" if entry.mem_hit else "miss")
+                    self.latches.write_mem_rdata(entry.result)
+                self.trace.record("M", KIND_STALL, entry.instr, entry.seq,
+                                  DYN_HIT if entry.mem_hit else DYN_MISS)
             setattr(self, attribute, None)
         # single-cycle ALU result was computed at issue; free the unit
         if self.alu_busy is not None:
@@ -248,7 +252,7 @@ class OutOfOrderCore:
             self.alu_busy = None
 
     # ------------------------------------------------------------------
-    def _issue(self, occ: Dict[str, StageOccupancy]) -> None:
+    def _issue(self) -> None:
         """Wake up at most one ready instruction per free unit."""
         for entry in self.rob:
             if entry.issued or not self._ready(entry):
@@ -271,18 +275,18 @@ class OutOfOrderCore:
                     # a store mutates memory: it must not issue while any
                     # older instruction could still squash it
                     continue
-                self._issue_memory(entry, occ)
+                self._issue_memory(entry)
                 entry.issued = True
                 continue
             if instr.is_muldiv:
                 if self.muldiv_busy is not None:
                     continue
-                self._issue_muldiv(entry, occ)
+                self._issue_muldiv(entry)
                 entry.issued = True
                 continue
             if self.alu_busy is not None:
                 continue
-            self._issue_alu(entry, occ)
+            self._issue_alu(entry)
             entry.issued = True
             # one ALU-class issue per cycle
         # (loop continues so one ALU + one MUL + one MEM may issue
@@ -295,8 +299,7 @@ class OutOfOrderCore:
             if entry.instr.rs2 in entry.operands else 0
         return a, b
 
-    def _issue_alu(self, entry: _RobEntry,
-                   occ: Dict[str, StageOccupancy]) -> None:
+    def _issue_alu(self, entry: _RobEntry) -> None:
         instr = entry.instr
         a, b = self._operands(entry)
         if instr.is_branch:
@@ -328,14 +331,12 @@ class OutOfOrderCore:
             entry.result = alu_result(instr, a, b, entry.pc)
         operand_b = b if instr.fmt.value in ("R", "S", "B") \
             else (instr.imm & MASK32)
-        self.latches.write("E", alu_a=a, alu_b=operand_b,
-                           alu_out=entry.result,
-                           ex_ctrl=control_word(instr, 8))
-        occ["E"] = StageOccupancy(OCC_INSTR, instr=instr, seq=entry.seq)
+        self.latches.write_execute_out(a, operand_b, entry.result,
+                                       control_word(instr, 8))
+        self.trace.record("E", KIND_INSTR, instr, entry.seq)
         self.alu_busy = entry
 
-    def _issue_muldiv(self, entry: _RobEntry,
-                      occ: Dict[str, StageOccupancy]) -> None:
+    def _issue_muldiv(self, entry: _RobEntry) -> None:
         instr = entry.instr
         a, b = self._operands(entry)
         entry.result = alu_result(instr, a, b, entry.pc)
@@ -345,13 +346,11 @@ class OutOfOrderCore:
         self.latches.write("E", alu_a=a, alu_b=b,
                            ex_ctrl=control_word(instr, 8),
                            muldiv_hi=(a * b) >> 32)
-        if occ["E"].kind == OCC_BUBBLE:
-            occ["E"] = StageOccupancy(OCC_INSTR, instr=instr,
-                                      seq=entry.seq)
+        if self.trace.stage_kind_at("E") == KIND_BUBBLE:
+            self.trace.record("E", KIND_INSTR, instr, entry.seq)
         self.muldiv_busy = entry
 
-    def _issue_memory(self, entry: _RobEntry,
-                      occ: Dict[str, StageOccupancy]) -> None:
+    def _issue_memory(self, entry: _RobEntry) -> None:
         instr = entry.instr
         a, b = self._operands(entry)
         address = (a + instr.imm) & MASK32
@@ -373,26 +372,25 @@ class OutOfOrderCore:
             entry.result = self.memory.load(address, nbytes, signed)
             self.latches.write("M", mem_addr=address,
                                mem_ctrl=control_word(instr, 8))
-        occ["M"] = StageOccupancy(OCC_INSTR, instr=instr, seq=entry.seq,
-                                  dyn="hit" if hit else "miss")
+        self.trace.record("M", KIND_INSTR, instr, entry.seq,
+                          DYN_HIT if hit else DYN_MISS)
         self.lsu_busy = entry
 
     # ------------------------------------------------------------------
     # rename (stage D)
     # ------------------------------------------------------------------
-    def _rename(self, occ: Dict[str, StageOccupancy]) -> Optional[int]:
+    def _rename(self) -> Optional[int]:
         entry = self.fetched
         if entry is None:
             return None
         if len(self.rob) >= self.ROB_SIZE:
-            occ["D"] = StageOccupancy(OCC_STALL, instr=entry.instr,
-                                      seq=entry.seq)
+            self.trace.record("D", KIND_STALL, entry.instr, entry.seq)
             self.trace.stalls.append(StallEvent(
                 cycle=self.cycle, stage="D", cause=StallCause.RAW_HAZARD,
                 seq=entry.seq))
             return None
         instr = entry.instr
-        for reg in sorted(set(instr.source_registers)):
+        for reg in instr.unique_sources:
             if reg == 0:
                 entry.operands[reg] = (True, 0)
             elif reg in self.producer:
@@ -417,11 +415,10 @@ class OutOfOrderCore:
 
         rs1_val = latch_value(instr.rs1)
         rs2_val = latch_value(instr.rs2)
-        self.latches.write("D", dec_instr=instr.encode(),
-                           rs1_val=rs1_val, rs2_val=rs2_val,
-                           dec_imm=instr.imm & MASK32,
-                           dec_ctrl=control_word(instr, 12))
-        occ["D"] = StageOccupancy(OCC_INSTR, instr=instr, seq=entry.seq)
+        self.latches.write_decode(instr.encode(), rs1_val, rs2_val,
+                                  instr.imm & MASK32,
+                                  control_word(instr, 12))
+        self.trace.record("D", KIND_INSTR, instr, entry.seq)
         if instr.name == "jal":
             target = (entry.pc + instr.imm) & MASK32
             self.btb.update(entry.pc, target)
@@ -434,15 +431,14 @@ class OutOfOrderCore:
     # ------------------------------------------------------------------
     # fetch (stage F)
     # ------------------------------------------------------------------
-    def _fetch(self, occ: Dict[str, StageOccupancy],
-               redirect: Optional[int]) -> None:
+    def _fetch(self, redirect: Optional[int]) -> None:
         if redirect is not None:
             self.pc = redirect
             self.fetch_halted = False
             return
         if self.fetched is not None:
-            occ["F"] = StageOccupancy(OCC_STALL, instr=self.fetched.instr,
-                                      seq=self.fetched.seq)
+            self.trace.record("F", KIND_STALL, self.fetched.instr,
+                              self.fetched.seq)
             return
         if self.fetch_halted:
             return
@@ -461,9 +457,9 @@ class OutOfOrderCore:
             target = self.btb.lookup(self.pc)
             entry.pred_taken = target is not None
             entry.pred_target = target
-        self.latches.write("F", pc=self.pc, fetch_instr=instr.encode(),
-                           pred_state=int(entry.pred_taken))
-        occ["F"] = StageOccupancy(OCC_INSTR, instr=instr, seq=entry.seq)
+        self.latches.write_fetch(self.pc, instr.encode(),
+                                 int(entry.pred_taken))
+        self.trace.record("F", KIND_INSTR, instr, entry.seq)
         self.fetched = entry
         self.pc = entry.pred_target if (entry.pred_taken and
                                         entry.pred_target is not None) \
@@ -474,9 +470,15 @@ class OutOfOrderCore:
 
 def run_program_ooo(program: Program,
                     config: CoreConfig = DEFAULT_CONFIG,
-                    max_cycles: Optional[int] = None
+                    max_cycles: Optional[int] = None,
+                    legacy_trace: bool = False
                     ) -> Tuple[ActivityTrace, OutOfOrderCore]:
-    """Run ``program`` on a fresh OoO core; returns (trace, core)."""
-    core = OutOfOrderCore(program, config=config)
+    """Run ``program`` on a fresh OoO core; returns (trace, core).
+
+    ``legacy_trace=True`` records through the seed's object-graph trace
+    and dict-backed latches (the reference oracle / bench baseline).
+    """
+    core = OutOfOrderCore(program, config=config,
+                          legacy_trace=legacy_trace)
     trace = core.run(max_cycles=max_cycles)
     return trace, core

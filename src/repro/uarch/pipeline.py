@@ -16,7 +16,7 @@ ground-truth EM emitter and EMSim's regression model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 from ..isa.instructions import Instruction
 from ..isa.program import Program
@@ -27,11 +27,12 @@ from .events import (BranchEvent, CacheEvent, FlushEvent, StallCause,
                      StallEvent)
 from .isa_exec import (alu_result, branch_taken, control_flow_target,
                        load_width, store_width)
-from .latches import HardwareLatches, STAGES, control_word
+from .latches import (HardwareLatches, LegacyHardwareLatches, STAGES,
+                      control_word)
 from .memory import MainMemory
 from .regfile import RegisterFile
-from .trace import (OCC_BUBBLE, OCC_INSTR, OCC_STALL, ActivityTrace,
-                    RetiredInstruction, StageOccupancy)
+from .trace import (DYN_FINAL, DYN_HIT, DYN_MISS, KIND_INSTR, KIND_STALL,
+                    ActivityTrace, LegacyActivityTrace, RetiredInstruction)
 
 MASK32 = 0xFFFFFFFF
 
@@ -71,7 +72,8 @@ class Pipeline:
     def __init__(self, program: Program,
                  config: CoreConfig = DEFAULT_CONFIG,
                  alu_bug: Optional[object] = None,
-                 oracle: Optional[object] = None):
+                 oracle: Optional[object] = None,
+                 legacy_trace: bool = False):
         self.program = program
         self.config = config
         self.regfile = RegisterFile()
@@ -81,8 +83,14 @@ class Pipeline:
                                         config.predictor_history_bits,
                                         config.predictor_table_bits)
         self.btb = BranchTargetBuffer(config.btb_entries)
-        self.latches = HardwareLatches()
-        self.trace = ActivityTrace()
+        # legacy_trace selects the seed's object-graph recorder and
+        # dict-backed latches — the reference oracle / bench baseline
+        if legacy_trace:
+            self.latches = LegacyHardwareLatches()
+            self.trace = LegacyActivityTrace()
+        else:
+            self.latches = HardwareLatches()
+            self.trace = ActivityTrace()
         self.alu_bug = alu_bug   # optional callable(instr, a, b) -> result
         self.oracle = oracle     # optional OracleOutcomes (perfect fetch)
 
@@ -120,64 +128,65 @@ class Pipeline:
     # one clock cycle
     # ------------------------------------------------------------------
     def step(self) -> None:
-        """Advance the core by one clock cycle."""
-        occ: Dict[str, StageOccupancy] = {}
-        flush_redirect: Optional[int] = None
-        decode_redirect: Optional[int] = None
+        """Advance the core by one clock cycle.
 
+        Stages record occupancy straight into the trace (unrecorded
+        stages default to bubbles); the cycle ends with one latch
+        snapshot via ``end_cycle``.
+        """
         # clock-edge handoff: the instruction fetched last cycle enters
         # Decode if the slot was vacated
         if self.d_uop is None and self.f_uop is not None:
             self.d_uop = self.f_uop
             self.f_uop = None
 
-        self._stage_writeback(occ)
-        mem_free = self._stage_memory(occ)
-        exec_free, flush_redirect = self._stage_execute(occ, mem_free)
+        self.trace.begin_cycle()
+        self._stage_writeback()
+        mem_free = self._stage_memory()
+        exec_free, flush_redirect = self._stage_execute(mem_free)
 
         if flush_redirect is not None:
-            # Squash the two younger wrong-path instructions — the one in
-            # Decode and this cycle's (suppressed) fetch: the paper's
-            # 2-cycle misprediction penalty.
-            flushed = 1 + int(self.d_uop is not None) + \
-                int(self.f_uop is not None)
-            self.d_uop = None
-            self.f_uop = None
-            self.latches.write_bubble("D")
-            self.latches.write_bubble("F")
-            occ["D"] = StageOccupancy(OCC_BUBBLE)
-            occ["F"] = StageOccupancy(OCC_BUBBLE)
-            self.pc = flush_redirect
-            self.fetch_halted = False  # wrong path may have run off the end
-            self.trace.flushes.append(FlushEvent(cycle=self.cycle,
-                                                 flushed=flushed,
-                                                 redirect_pc=flush_redirect))
+            self._flush_wrong_path(flush_redirect)
         else:
-            decode_redirect = self._stage_decode(occ, exec_free)
-            self._stage_fetch(occ, decode_redirect)
+            decode_redirect = self._stage_decode(exec_free)
+            self._stage_fetch(decode_redirect)
 
-        self.trace.commit_cycle(
-            occ, {stage: self.latches.values(stage) for stage in STAGES})
+        self.trace.end_cycle(self.latches)
         self.cycle += 1
         if self.fetch_halted and self.pipeline_empty:
             self.halted = True
 
+    def _flush_wrong_path(self, flush_redirect: int) -> None:
+        """Squash the two younger wrong-path instructions — the one in
+        Decode and this cycle's (suppressed) fetch: the paper's 2-cycle
+        misprediction penalty.  The squashed stages stay bubbles in the
+        trace and their latches snap to the bubble pattern."""
+        flushed = 1 + int(self.d_uop is not None) + \
+            int(self.f_uop is not None)
+        self.d_uop = None
+        self.f_uop = None
+        self.latches.write_bubble("D")
+        self.latches.write_bubble("F")
+        self.pc = flush_redirect
+        self.fetch_halted = False  # wrong path may have run off the end
+        self.trace.flushes.append(FlushEvent(cycle=self.cycle,
+                                             flushed=flushed,
+                                             redirect_pc=flush_redirect))
+
     # ------------------------------------------------------------------
     # Writeback
     # ------------------------------------------------------------------
-    def _stage_writeback(self, occ: Dict[str, StageOccupancy]) -> None:
+    def _stage_writeback(self) -> None:
         uop = self.w_uop
         if uop is None:
             self.latches.write_bubble("W")
-            occ["W"] = StageOccupancy(OCC_BUBBLE)
             return
         rd = uop.writes_reg
         if rd is not None:
             self.regfile.write(rd, uop.result)
-        self.latches.write("W", wb_data=uop.result if rd is not None else 0,
-                           wb_rd=rd or 0,
-                           wb_ctrl=(1 if rd is not None else 0))
-        occ["W"] = StageOccupancy(OCC_INSTR, instr=uop.instr, seq=uop.seq)
+        self.latches.write_writeback(uop.result if rd is not None else 0,
+                                     rd or 0, 1 if rd is not None else 0)
+        self.trace.record("W", KIND_INSTR, uop.instr, uop.seq)
         self.trace.retired.append(RetiredInstruction(
             seq=uop.seq, pc=uop.pc, instr=uop.instr, cycle=self.cycle))
         if uop.instr.name in ("ecall", "ebreak"):
@@ -187,36 +196,33 @@ class Pipeline:
     # ------------------------------------------------------------------
     # Memory
     # ------------------------------------------------------------------
-    def _stage_memory(self, occ: Dict[str, StageOccupancy]) -> bool:
+    def _stage_memory(self) -> bool:
         """Process the Memory stage; returns True if the slot is free for
         the Execute stage to advance into."""
         uop = self.m_uop
         if uop is None:
             self.latches.write_bubble("M")
-            occ["M"] = StageOccupancy(OCC_BUBBLE)
             return True
         instr = uop.instr
         if not uop.m_started:
             uop.m_started = True
             if instr.is_load or instr.is_store:
-                self._memory_access(uop, occ)
+                self._memory_access(uop)
             else:
-                self.latches.write("M", mem_ctrl=control_word(instr, 8))
-                occ["M"] = StageOccupancy(OCC_INSTR, instr=instr,
-                                          seq=uop.seq)
+                self.latches.write_mem_ctrl(control_word(instr, 8))
+                self.trace.record("M", KIND_INSTR, instr, uop.seq)
                 uop.m_remaining = 0
         else:
             uop.m_remaining -= 1
             cause = StallCause.CACHE_MISS if uop.mem_hit is False \
                 else StallCause.MEM_BUSY
-            occ["M"] = StageOccupancy(OCC_STALL, instr=instr, seq=uop.seq,
-                                      dyn="miss" if uop.mem_hit is False
-                                      else "hit")
+            self.trace.record("M", KIND_STALL, instr, uop.seq,
+                              DYN_MISS if uop.mem_hit is False else DYN_HIT)
             self.trace.stalls.append(StallEvent(cycle=self.cycle, stage="M",
                                                 cause=cause, seq=uop.seq))
             if uop.m_remaining == 0 and instr.is_load:
                 # data-return flip on the read-data bus
-                self.latches.write("M", mem_rdata=uop.result)
+                self.latches.write_mem_rdata(uop.result)
                 uop.result_ready = True
         if uop.m_remaining == 0:
             self.m_uop = None
@@ -224,8 +230,7 @@ class Pipeline:
             return True
         return False
 
-    def _memory_access(self, uop: _Uop,
-                       occ: Dict[str, StageOccupancy]) -> None:
+    def _memory_access(self, uop: _Uop) -> None:
         """First Memory cycle of a load/store: cache access + data move."""
         instr = uop.instr
         address = uop.mem_addr
@@ -249,27 +254,25 @@ class Pipeline:
             self.latches.write("M", mem_addr=address,
                                mem_ctrl=control_word(instr, 8))
             if uop.m_remaining == 0:
-                self.latches.write("M", mem_rdata=uop.result)
+                self.latches.write_mem_rdata(uop.result)
                 uop.result_ready = True
-        occ["M"] = StageOccupancy(OCC_INSTR, instr=instr, seq=uop.seq,
-                                  dyn="hit" if hit else "miss")
+        self.trace.record("M", KIND_INSTR, instr, uop.seq,
+                          DYN_HIT if hit else DYN_MISS)
 
     # ------------------------------------------------------------------
     # Execute
     # ------------------------------------------------------------------
-    def _stage_execute(self, occ: Dict[str, StageOccupancy],
-                       mem_free: bool) -> Tuple[bool, Optional[int]]:
+    def _stage_execute(self, mem_free: bool) -> Tuple[bool, Optional[int]]:
         """Process Execute; returns (slot free for Decode, flush redirect)."""
         uop = self.e_uop
         if uop is None:
             self.latches.write_bubble("E")
-            occ["E"] = StageOccupancy(OCC_BUBBLE)
             return True, None
         instr = uop.instr
 
         if not uop.e_started:
             uop.e_started = True
-            redirect = self._execute_first_cycle(uop, occ)
+            redirect = self._execute_first_cycle(uop)
             if uop.e_remaining == 0 and mem_free:
                 self.e_uop = None
                 self.m_uop = uop
@@ -280,14 +283,14 @@ class Pipeline:
 
         if not mem_free and uop.e_remaining == 0:
             # finished, waiting for the Memory stage to drain
-            occ["E"] = StageOccupancy(OCC_STALL, instr=instr, seq=uop.seq)
+            self.trace.record("E", KIND_STALL, instr, uop.seq)
             self.trace.stalls.append(StallEvent(
                 cycle=self.cycle, stage="E", cause=StallCause.MEM_BUSY,
                 seq=uop.seq))
             return False, None
         if uop.e_remaining == 0:
             # previously finished, was waiting on Memory; transits quietly
-            occ["E"] = StageOccupancy(OCC_STALL, instr=instr, seq=uop.seq)
+            self.trace.record("E", KIND_STALL, instr, uop.seq)
         if uop.e_remaining > 0:
             uop.e_remaining -= 1
             if uop.e_remaining == 0:
@@ -297,11 +300,10 @@ class Pipeline:
                                    muldiv_hi=(uop.rs1_val * uop.rs2_val)
                                    >> 32)
                 uop.result_ready = True
-                occ["E"] = StageOccupancy(OCC_INSTR, instr=instr,
-                                          seq=uop.seq, dyn="final")
+                self.trace.record("E", KIND_INSTR, instr, uop.seq,
+                                  DYN_FINAL)
             else:
-                occ["E"] = StageOccupancy(OCC_STALL, instr=instr,
-                                          seq=uop.seq)
+                self.trace.record("E", KIND_STALL, instr, uop.seq)
                 self.trace.stalls.append(StallEvent(
                     cycle=self.cycle, stage="E", cause=StallCause.EX_BUSY,
                     seq=uop.seq))
@@ -311,31 +313,28 @@ class Pipeline:
             return True, None
         return False, None
 
-    def _execute_first_cycle(self, uop: _Uop,
-                             occ: Dict[str, StageOccupancy]
-                             ) -> Optional[int]:
+    def _execute_first_cycle(self, uop: _Uop) -> Optional[int]:
         """First Execute cycle: compute, resolve control flow."""
         instr = uop.instr
         a, b = uop.rs1_val, uop.rs2_val
         operand_b = b if instr.fmt.value in ("R", "S", "B") else \
             (instr.imm & MASK32)
-        self.latches.write("E", alu_a=a, alu_b=operand_b,
-                           ex_ctrl=control_word(instr, 8))
-        occ["E"] = StageOccupancy(OCC_INSTR, instr=instr, seq=uop.seq)
+        self.latches.write_execute(a, operand_b, control_word(instr, 8))
+        self.trace.record("E", KIND_INSTR, instr, uop.seq)
         redirect: Optional[int] = None
 
         if instr.is_branch:
             uop.taken = branch_taken(instr, a, b)
             uop.target = control_flow_target(instr, uop.pc, a)
             uop.result_ready = True
-            self.latches.write("E", alu_out=uop.target if uop.taken else 0)
+            self.latches.write_alu_out(uop.target if uop.taken else 0)
             redirect = self._resolve_control(uop)
         elif instr.name == "jalr":
             uop.taken = True
             uop.target = control_flow_target(instr, uop.pc, a)
             uop.result = (uop.pc + 4) & MASK32
             uop.result_ready = True
-            self.latches.write("E", alu_out=uop.result)
+            self.latches.write_alu_out(uop.result)
             redirect = self._resolve_control(uop)
         elif instr.is_muldiv:
             uop.result = self._alu(instr, a, b, uop.pc)
@@ -348,7 +347,7 @@ class Pipeline:
                 uop.result_ready = True
         else:
             uop.result = self._alu(instr, a, b, uop.pc)
-            self.latches.write("E", alu_out=uop.result)
+            self.latches.write_alu_out(uop.result)
             if instr.is_load or instr.is_store:
                 # the "result" so far is only the effective address; load
                 # data becomes forwardable when Memory returns it
@@ -389,14 +388,12 @@ class Pipeline:
     # ------------------------------------------------------------------
     # Decode
     # ------------------------------------------------------------------
-    def _stage_decode(self, occ: Dict[str, StageOccupancy],
-                      exec_free: bool) -> Optional[int]:
+    def _stage_decode(self, exec_free: bool) -> Optional[int]:
         """Process Decode; returns a fetch redirect PC for unpredicted
         direct jumps (jal), else None."""
         uop = self.d_uop
         if uop is None:
             self.latches.write_bubble("D")
-            occ["D"] = StageOccupancy(OCC_BUBBLE)
             return None
         instr = uop.instr
 
@@ -404,17 +401,16 @@ class Pipeline:
             cause = StallCause.EX_BUSY if (self.e_uop and
                                            self.e_uop.e_remaining > 0) \
                 else StallCause.MEM_BUSY
-            occ["D"] = StageOccupancy(OCC_STALL, instr=instr, seq=uop.seq)
+            self.trace.record("D", KIND_STALL, instr, uop.seq)
             self.trace.stalls.append(StallEvent(
                 cycle=self.cycle, stage="D", cause=cause, seq=uop.seq))
             return None
 
         operands = {}
-        for reg in sorted(set(instr.source_registers)):
+        for reg in instr.unique_sources:
             value, ready, cause = self._operand(reg)
             if not ready:
-                occ["D"] = StageOccupancy(OCC_STALL, instr=instr,
-                                          seq=uop.seq)
+                self.trace.record("D", KIND_STALL, instr, uop.seq)
                 self.trace.stalls.append(StallEvent(
                     cycle=self.cycle, stage="D", cause=cause, seq=uop.seq))
                 return None
@@ -422,11 +418,10 @@ class Pipeline:
         uop.rs1_val = operands.get(instr.rs1, 0)
         uop.rs2_val = operands.get(instr.rs2, 0)
 
-        self.latches.write("D", dec_instr=instr.encode(),
-                           rs1_val=uop.rs1_val, rs2_val=uop.rs2_val,
-                           dec_imm=instr.imm & MASK32,
-                           dec_ctrl=control_word(instr, 12))
-        occ["D"] = StageOccupancy(OCC_INSTR, instr=instr, seq=uop.seq)
+        self.latches.write_decode(instr.encode(), uop.rs1_val,
+                                  uop.rs2_val, instr.imm & MASK32,
+                                  control_word(instr, 12))
+        self.trace.record("D", KIND_INSTR, instr, uop.seq)
         self.d_uop = None
         self.e_uop = uop
 
@@ -464,42 +459,37 @@ class Pipeline:
     # ------------------------------------------------------------------
     # Fetch
     # ------------------------------------------------------------------
-    def _stage_fetch(self, occ: Dict[str, StageOccupancy],
-                     decode_redirect: Optional[int]) -> None:
+    def _stage_fetch(self, decode_redirect: Optional[int]) -> None:
         if decode_redirect is not None:
             # jal resolved in Decode: squash the one wrong-path fetch
             self.f_uop = None
             self.latches.write_bubble("F")
-            occ["F"] = StageOccupancy(OCC_BUBBLE)
             self.pc = decode_redirect
             self.fetch_halted = False  # squashed fetch may have halted us
             return
         if self.f_uop is not None:
             # Decode is still occupied: the fetched instruction waits
-            occ["F"] = StageOccupancy(OCC_STALL, instr=self.f_uop.instr,
-                                      seq=self.f_uop.seq)
+            self.trace.record("F", KIND_STALL, self.f_uop.instr,
+                              self.f_uop.seq)
             self.trace.stalls.append(StallEvent(
                 cycle=self.cycle, stage="F",
                 cause=StallCause.RAW_HAZARD, seq=self.f_uop.seq))
             return
         if self.fetch_halted:
             self.latches.write_bubble("F")
-            occ["F"] = StageOccupancy(OCC_BUBBLE)
             return
         instr = self.program.instruction_at(self.pc)
         if instr is None:
             self.fetch_halted = True
             self.latches.write_bubble("F")
-            occ["F"] = StageOccupancy(OCC_BUBBLE)
             return
         uop = _Uop(instr=instr, pc=self.pc, seq=self.next_seq)
         self.next_seq += 1
         self._predict(uop)
-        self.latches.write("F", pc=self.pc, fetch_instr=instr.encode(),
-                           pred_state=(int(uop.pred_taken) |
-                                       (self.predictor.state_signature()
-                                        << 1)))
-        occ["F"] = StageOccupancy(OCC_INSTR, instr=instr, seq=uop.seq)
+        self.latches.write_fetch(self.pc, instr.encode(),
+                                 int(uop.pred_taken) |
+                                 (self.predictor.state_signature() << 1))
+        self.trace.record("F", KIND_INSTR, instr, uop.seq)
         self.f_uop = uop
         self.pc = uop.pred_target if (uop.pred_taken and
                                       uop.pred_target is not None) \
@@ -529,9 +519,15 @@ class Pipeline:
 def run_program(program: Program, config: CoreConfig = DEFAULT_CONFIG,
                 max_cycles: Optional[int] = None,
                 alu_bug: Optional[object] = None,
-                oracle: Optional[object] = None) -> Tuple[ActivityTrace,
-                                                          Pipeline]:
-    """Convenience: run ``program`` on a fresh core, return (trace, core)."""
-    core = Pipeline(program, config=config, alu_bug=alu_bug, oracle=oracle)
+                oracle: Optional[object] = None,
+                legacy_trace: bool = False) -> Tuple[ActivityTrace,
+                                                     Pipeline]:
+    """Convenience: run ``program`` on a fresh core, return (trace, core).
+
+    ``legacy_trace=True`` records through the seed's object-graph trace
+    and dict-backed latches (the reference oracle / bench baseline).
+    """
+    core = Pipeline(program, config=config, alu_bug=alu_bug, oracle=oracle,
+                    legacy_trace=legacy_trace)
     trace = core.run(max_cycles=max_cycles)
     return trace, core

@@ -46,6 +46,8 @@ from tools.analysis.rules.numeric import (  # noqa: E402
     AggregateDivisionRule, DtypeDowncastRule, FloatEqualityRule)
 from tools.analysis.rules.observability import (  # noqa: E402
     CampaignManifestRule, MetricReferenceRule, extract_names)
+from tools.analysis.rules.performance import (  # noqa: E402
+    HotLoopAllocationRule)
 
 # config that points every path-scoped rule at the fixture file
 EVERYWHERE = replace(
@@ -790,6 +792,110 @@ class TestMetricReference:
         found = list(MetricReferenceRule().check_project(
             Project(root=REPO_ROOT, config=config)))
         assert found == []
+
+
+# ---------------------------------------------------------------------------
+# performance family
+# ---------------------------------------------------------------------------
+class TestHotLoopAllocation:
+    CONFIG = replace(EVERYWHERE, hot_loop_functions=["Core.step"],
+                     hot_loop_types=["StageOccupancy"])
+
+    def test_positive_displays_and_calls(self):
+        result = scan(
+            """
+            class Core:
+                def step(self):
+                    pending = {stage: None for stage in self.stages}
+                    widths = dict(self.table)
+                    occ = StageOccupancy("alu", None, 0, "none")
+            """, HotLoopAllocationRule(), self.CONFIG)
+        assert rule_ids(result) == ["P601", "P601", "P601"]
+        assert "dict comprehension" in result.findings[0].message
+        assert "dict() call" in result.findings[1].message
+        assert "StageOccupancy construction" in result.findings[2].message
+
+    def test_positive_list_display_in_nested_loop(self):
+        result = scan(
+            """
+            class Core:
+                def step(self):
+                    for stage in self.stages:
+                        self.rows.append([stage, 0, 0])
+            """, HotLoopAllocationRule(), self.CONFIG)
+        assert rule_ids(result) == ["P601"]
+
+    def test_negative_other_methods_and_functions(self):
+        result = scan(
+            """
+            class Core:
+                def reset(self):
+                    self.rows = [[0] * 4]
+
+            class Other:
+                def step(self):
+                    return {1, 2}
+
+            def step():
+                return dict(a=1)
+            """, HotLoopAllocationRule(), self.CONFIG)
+        assert result.findings == []
+
+    def test_negative_default_arguments_evaluate_once(self):
+        result = scan(
+            """
+            class Core:
+                def step(self, scratch=(), labels={}):
+                    return scratch, labels
+            """, HotLoopAllocationRule(), self.CONFIG)
+        assert result.findings == []
+
+    def test_statement_anchor_covers_multiline_construction(self):
+        # the comprehension starts two lines below the statement head;
+        # the finding must still anchor at the statement so a standalone
+        # allow above it suppresses.
+        result = scan(
+            """
+            class Core:
+                def step(self):
+                    self.commit(
+                        self.pending,
+                        {stage: 0 for stage in self.stages})
+            """, HotLoopAllocationRule(), self.CONFIG)
+        assert rule_ids(result) == ["P601"]
+        assert result.findings[0].line == 4
+
+    def test_suppressed_legacy_reference_path(self):
+        result = scan(
+            """
+            class Core:
+                def step(self):
+                    # repro: allow[P601] seed-cost reference path
+                    self.commit(
+                        {stage: 0 for stage in self.stages})
+            """, HotLoopAllocationRule(), self.CONFIG)
+        assert result.findings == []
+        assert rule_ids_suppressed(result) == ["P601"]
+
+    def test_negative_unconfigured_rule_is_silent(self):
+        config = replace(EVERYWHERE, hot_loop_functions=[])
+        result = scan(
+            """
+            class Core:
+                def step(self):
+                    return {stage: 0 for stage in self.stages}
+            """, HotLoopAllocationRule(), config)
+        assert result.findings == []
+
+    def test_hot_paths_clean_on_this_repo(self):
+        # the real per-cycle recording path must stay allocation-free;
+        # the preserved Legacy* reference paths are suppressed at the
+        # site, never silently exempt.
+        analyzer = Analyzer([HotLoopAllocationRule()],
+                            load_config(REPO_ROOT), REPO_ROOT)
+        result = analyzer.run(["src/repro/uarch"])
+        assert result.findings == []
+        assert len(result.suppressed) == 4
 
 
 # ---------------------------------------------------------------------------

@@ -59,6 +59,26 @@ class AnalysisConfig:
     #: markdown surfaces checked by the doc rules (A402/A403).
     doc_files: List[str] = field(default_factory=lambda: [
         "README.md", "docs"])
+    #: ``Class.method`` names on the per-cycle simulation hot path;
+    #: P601 flags any dict/list/set construction inside them — the
+    #: columnar trace engine exists precisely because per-cycle object
+    #: churn dominated simulate time.  The ``Legacy*`` reference paths
+    #: are listed too: their allocations carry explicit allow tags so
+    #: the preserved seed cost stays a visible, audited decision.
+    hot_loop_functions: List[str] = field(default_factory=lambda: [
+        "ActivityTrace.begin_cycle", "ActivityTrace.commit_cycle",
+        "ActivityTrace.end_cycle", "ActivityTrace.record",
+        "HardwareLatches.write", "HardwareLatches.write_bubble",
+        "LegacyActivityTrace.begin_cycle",
+        "LegacyActivityTrace.commit_cycle",
+        "LegacyActivityTrace.end_cycle", "LegacyActivityTrace.record",
+        "LegacyHardwareLatches.write",
+        "LegacyHardwareLatches.write_bubble",
+        "OutOfOrderCore.step", "Pipeline.step"])
+    #: per-cycle dataclass/object types whose construction P601 also
+    #: flags inside hot-loop functions (matched by unqualified name).
+    hot_loop_types: List[str] = field(default_factory=lambda: [
+        "StageOccupancy"])
 
 
 def _pyproject_section(root: str, *keys: str) -> dict:

@@ -20,6 +20,7 @@ from .hygiene import AnnotationCoverageRule, DocstringCoverageRule
 from .numeric import (AggregateDivisionRule, DtypeDowncastRule,
                       FloatEqualityRule)
 from .observability import CampaignManifestRule, MetricReferenceRule
+from .performance import HotLoopAllocationRule
 
 
 def all_rules() -> List[Rule]:
@@ -44,5 +45,6 @@ def all_rules() -> List[Rule]:
         AnnotationCoverageRule(),
         CampaignManifestRule(),
         MetricReferenceRule(),
+        HotLoopAllocationRule(),
     ]
     return sorted(rules, key=lambda rule: rule.rule_id)

@@ -1,0 +1,112 @@
+"""Performance rules (``P6xx``): the simulation hot path must not churn
+objects.
+
+The columnar activity-trace engine removed per-cycle dict/dataclass
+construction from recording (``docs/architecture.md``); a 3000-cycle
+kernel used to build five ``StageOccupancy`` objects and several dicts
+*every cycle*, and that allocation traffic — not arithmetic — dominated
+cold simulate time.  This pass keeps the win: any allocation expression
+that re-enters a configured hot-loop function is a finding, so a casual
+"just build a small dict here" refactor fails ``make lint`` instead of
+silently costing 2x.  The preserved ``Legacy*`` reference paths carry
+explicit ``allow[P601]`` tags — the seed's cost profile there is the
+point, and the tag makes that an audited decision.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from ..core import FileContext, Rule
+
+#: allocation expression nodes flagged inside hot-loop functions.
+_ALLOCATION_NODES = {
+    ast.Dict: "dict display",
+    ast.List: "list display",
+    ast.Set: "set display",
+    ast.DictComp: "dict comprehension",
+    ast.ListComp: "list comprehension",
+    ast.SetComp: "set comprehension",
+    ast.GeneratorExp: "generator expression",
+}
+
+#: builtin constructors flagged when called by name.
+_ALLOCATION_CALLS = frozenset({"dict", "list", "set"})
+
+
+class HotLoopAllocationRule(Rule):
+    """P601: no per-call container/object construction in hot loops.
+
+    A function listed under ``hot-loop-functions`` (as
+    ``Class.method``) runs once per simulated cycle — or per latch
+    write, several times per cycle.  Inside it, every dict/list/set
+    display or comprehension, every ``dict()``/``list()``/``set()``
+    call, and every construction of a type listed under
+    ``hot-loop-types`` is a finding.  Findings anchor at the enclosing
+    *statement*, so a standalone allow comment above the statement
+    covers a multi-line construction.  Default-argument expressions are
+    exempt (they evaluate once at ``def`` time).
+    """
+
+    rule_id = "P601"
+    family = "performance"
+    title = "per-call allocation in a hot-loop function"
+    node_types = tuple(_ALLOCATION_NODES) + (ast.Call,)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return bool(ctx.config.hot_loop_functions)
+
+    def _describe(self, node: ast.AST,
+                  ctx: FileContext) -> Optional[str]:
+        """What ``node`` allocates, or ``None`` if it is not flagged."""
+        if type(node) in _ALLOCATION_NODES:
+            return _ALLOCATION_NODES[type(node)]
+        qual = ctx.qualname(node.func)
+        if qual is None:
+            return None
+        name = qual.rpartition(".")[2]
+        if qual in _ALLOCATION_CALLS:
+            return f"{qual}() call"
+        if name in ctx.config.hot_loop_types:
+            return f"{name} construction"
+        return None
+
+    def _hot_function(self, node: ast.AST,
+                      ctx: FileContext) -> Optional[Tuple[str, ast.stmt]]:
+        """``(Class.method, enclosing statement)`` when ``node`` sits in
+        a configured hot-loop function's body (``None`` otherwise)."""
+        statement: Optional[ast.stmt] = None
+        cursor: Optional[ast.AST] = node
+        while cursor is not None:
+            parent = ctx.parent(cursor)
+            if isinstance(cursor, ast.arguments):
+                return None  # default values evaluate at def time
+            if isinstance(cursor, ast.stmt) and statement is None and \
+                    not isinstance(cursor, (ast.FunctionDef,
+                                            ast.AsyncFunctionDef)):
+                statement = cursor
+            if isinstance(cursor, (ast.FunctionDef,
+                                   ast.AsyncFunctionDef)) and \
+                    isinstance(parent, ast.ClassDef):
+                qualified = f"{parent.name}.{cursor.name}"
+                if qualified in ctx.config.hot_loop_functions:
+                    return qualified, statement or cursor
+                return None  # methods resolve at their own class only
+            cursor = parent
+        return None
+
+    def check_node(self, node: ast.AST,
+                   ctx: FileContext) -> Iterator[Tuple[ast.AST, str]]:
+        description = self._describe(node, ctx)
+        if description is None:
+            return
+        located = self._hot_function(node, ctx)
+        if located is None:
+            return
+        qualified, statement = located
+        yield statement, (f"{description} in hot-loop function "
+                          f"{qualified}; this runs every simulated "
+                          f"cycle — hoist the construction out of the "
+                          f"per-cycle path (precomputed table, "
+                          f"preallocated buffer, or positional writer)")
