@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test lint docstrings docs bench bench-quick
+.PHONY: check test lint lint-cold docstrings docs bench bench-quick
 
 check: test lint
 
@@ -11,11 +11,17 @@ test:
 	$(PYTHON) -m pytest -x -q
 
 # repro-lint: AST-based invariant analyzer (determinism, numerical
-# safety, error contracts, API hygiene — including the docstring and
-# docs gates that used to be separate scripts).  Zero unsuppressed
-# findings is the bar; see docs/static-analysis.md.
+# safety, error contracts, API hygiene, whole-program dataflow —
+# including the docstring and docs gates that used to be separate
+# scripts).  Zero unsuppressed findings is the bar; see
+# docs/static-analysis.md.  Incremental by default (per-module
+# summaries cached under .repro-lint-cache/); `lint-cold` forces a
+# full from-scratch analysis with guaranteed-identical findings.
 lint:
 	$(PYTHON) -m tools.analysis
+
+lint-cold:
+	$(PYTHON) -m tools.analysis --no-cache
 
 # Deprecated: kept as thin wrappers over `tools.analysis` for one
 # release.  `make check` runs the full analyzer via `lint` instead.
@@ -29,12 +35,14 @@ docs:
 # campaign benchmark (BENCH_sim.json), the model-building fast-path
 # benchmark (BENCH_train.json), the columnar trace-engine benchmark
 # (BENCH_trace.json), the supervised-campaign survival/resume
-# benchmark (BENCH_resume.json), and the run-record overhead
-# benchmark (BENCH_observability.json) under benchmarks/results/.
+# benchmark (BENCH_resume.json), the run-record overhead benchmark
+# (BENCH_observability.json), and the incremental-lint benchmark
+# (BENCH_lint.json) under benchmarks/results/.
 bench:
 	cd benchmarks && $(PYTHON) -m pytest test_perf_campaign.py \
 		test_perf_training.py test_perf_trace.py \
-		test_robustness_resume.py test_perf_observability.py -x -q
+		test_robustness_resume.py test_perf_observability.py \
+		test_perf_lint.py -x -q
 
 # Tiny-size smoke runs of the training, trace, resume, and
 # observability benchmarks (seconds, not minutes); they write
@@ -43,4 +51,5 @@ bench:
 bench-quick:
 	cd benchmarks && REPRO_BENCH_QUICK=1 $(PYTHON) -m pytest \
 		test_perf_training.py test_perf_trace.py \
-		test_robustness_resume.py test_perf_observability.py -x -q
+		test_robustness_resume.py test_perf_observability.py \
+		test_perf_lint.py -x -q

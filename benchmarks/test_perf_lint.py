@@ -1,0 +1,140 @@
+"""Perf: incremental repro-lint (warm cache) vs a cold whole-repo run.
+
+The acceptance claims for the incremental analysis engine
+(docs/static-analysis.md):
+
+* a warm re-run after touching **one** module re-summarizes only that
+  module and its import-graph dependents, finishing at least **3x**
+  faster than a cold run over the same tree,
+* cached and cold runs render **byte-identical** reports — the cache
+  can make the analyzer faster, never different.
+
+The bench copies the repo's lint surface (``src`` + ``tools`` +
+``docs`` + ``pyproject.toml``) into a scratch tree so touching files cannot dirty
+the working copy, then drives the same :class:`Analyzer` the CLI uses:
+a cold run into an empty cache, a warm unchanged run, and warm runs
+after appending a comment to ``src/repro/cli.py`` (a leaf entry-point
+module: its only dependent is ``repro.__main__``, so the invalidated
+closure is exactly the two modules a one-line edit can affect).  Emits
+``benchmarks/results/BENCH_lint.json`` (schema ``repro-bench/1``);
+``REPRO_BENCH_QUICK=1`` lowers the repetition count and writes
+``BENCH_lint.quick.json`` instead.
+"""
+
+import os
+import shutil
+import sys
+import time
+
+import pytest
+
+from conftest import bench_quick, run_once, write_bench_report
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if REPO_ROOT not in sys.path:
+    sys.path.insert(0, REPO_ROOT)
+
+from tools.analysis import Analyzer  # noqa: E402
+from tools.analysis.baseline import apply_baseline  # noqa: E402
+from tools.analysis.config import load_config  # noqa: E402
+from tools.analysis.report import render_json  # noqa: E402
+from tools.analysis.rules import all_rules  # noqa: E402
+
+QUICK = bench_quick()
+REPS = 1 if QUICK else 3
+TOUCH_FLOOR = 3.0
+TOUCHED = os.path.join("src", "repro", "cli.py")
+
+
+def _copy_lint_surface(destination: str) -> None:
+    """Copy the analyzed tree (plus its config) into ``destination``."""
+    ignore = shutil.ignore_patterns("__pycache__", "*.pyc",
+                                    ".repro-lint-cache")
+    os.makedirs(destination, exist_ok=True)
+    for tree in ("src", "tools", "docs"):
+        shutil.copytree(os.path.join(REPO_ROOT, tree),
+                        os.path.join(destination, tree), ignore=ignore)
+    shutil.copy(os.path.join(REPO_ROOT, "pyproject.toml"), destination)
+    for entry in os.listdir(REPO_ROOT):
+        # doc-contract rules follow links from docs/ to the top-level
+        # markdown (README.md and friends)
+        if entry.endswith(".md"):
+            shutil.copy(os.path.join(REPO_ROOT, entry), destination)
+
+
+def _timed_run(root: str, cache_dir: str):
+    """One analyzer run; returns ``(seconds, rendered report bytes)``."""
+    config = load_config(root)
+    analyzer = Analyzer(all_rules(), config, root=root,
+                        cache_dir=cache_dir)
+    start = time.perf_counter()
+    result = analyzer.run()
+    new, stale = apply_baseline(result.findings, [])
+    report = render_json(result, new, stale)
+    return time.perf_counter() - start, report, result
+
+
+@pytest.mark.benchmark(group="perf")
+def test_incremental_lint_speedup(benchmark, record, tmp_path):
+    root = str(tmp_path / "worktree")
+    _copy_lint_surface(root)
+    cache_dir = str(tmp_path / "cache")
+
+    def experiment():
+        cold_seconds, cold_report, cold_result = _timed_run(
+            root, str(tmp_path / "cold-cache-0"))
+        for rep in range(1, REPS):
+            seconds, report, _ = _timed_run(
+                root, str(tmp_path / f"cold-cache-{rep}"))
+            cold_seconds = min(cold_seconds, seconds)
+            assert report == cold_report
+
+        _timed_run(root, cache_dir)  # populate the shared cache
+        warm_seconds, warm_report = None, None
+        for _ in range(REPS):
+            seconds, report, _ = _timed_run(root, cache_dir)
+            warm_seconds = seconds if warm_seconds is None \
+                else min(warm_seconds, seconds)
+            warm_report = report
+
+        touch_seconds = None
+        touched = os.path.join(root, TOUCHED)
+        for rep in range(REPS):
+            # a distinct edit per rep so every rep is a genuine
+            # one-module invalidation, not a fully-warm replay
+            with open(touched, "a") as handle:
+                handle.write(f"\n# perf-bench touch {rep}\n")
+            seconds, report, _ = _timed_run(root, cache_dir)
+            touch_seconds = seconds if touch_seconds is None \
+                else min(touch_seconds, seconds)
+            assert report == cold_report
+
+        return write_bench_report("lint", metadata={
+            "files_scanned": cold_result.checked_files,
+            "findings": len(cold_result.findings),
+            "touched_module": TOUCHED,
+            "reps": REPS,
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "touch_seconds": touch_seconds,
+            "warm_speedup": cold_seconds / warm_seconds,
+            "touch_speedup": cold_seconds / touch_seconds,
+            "byte_identical": warm_report == cold_report,
+        })
+
+    document = run_once(benchmark, experiment)
+    lines = [f"incremental repro-lint over "
+             f"{document['files_scanned']} files, best of {REPS} reps"
+             + (" (quick mode)" if QUICK else ""),
+             f"cold run:            {document['cold_seconds'] * 1e3:7.1f}"
+             " ms",
+             f"warm, unchanged:     {document['warm_seconds'] * 1e3:7.1f}"
+             f" ms ({document['warm_speedup']:.2f}x)",
+             f"warm, one module:    {document['touch_seconds'] * 1e3:7.1f}"
+             f" ms ({document['touch_speedup']:.2f}x, floor "
+             f"{TOUCH_FLOOR:.1f}x)",
+             f"touched module: {document['touched_module']}",
+             f"byte-identical reports: {document['byte_identical']}"]
+    record("perf_lint", "\n".join(lines))
+    assert document["byte_identical"]
+    assert document["touch_speedup"] >= TOUCH_FLOOR

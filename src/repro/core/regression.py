@@ -26,7 +26,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..robustness.errors import ConvergenceError
+from ..robustness.errors import ConfigurationError, ConvergenceError
 
 
 @dataclass
@@ -302,7 +302,7 @@ def stepwise_select(design: np.ndarray, target: np.ndarray,
     with the reference path whenever the selections do.
     """
     if method not in ("gram", "naive"):
-        raise ValueError(f"unknown step-wise method: {method!r}")
+        raise ConfigurationError(f"unknown step-wise method: {method!r}")
     design = np.asarray(design, dtype=float)
     target = np.asarray(target, dtype=float)
     n_samples, n_columns = design.shape

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..isa.program import Program
 from ..profiling import get_profiler
+from ..robustness.errors import ConfigurationError
 from ..signal.reconstruction import reconstruct
 from ..uarch.config import CoreConfig, DEFAULT_CONFIG
 from ..uarch.oracle import collect_oracle
@@ -47,7 +48,7 @@ class EMSim:
                  switches: Optional[ModelSwitches] = None,
                  core_kind: str = "in-order"):
         if core_kind not in ("in-order", "out-of-order"):
-            raise ValueError(f"unknown core kind: {core_kind!r}")
+            raise ConfigurationError(f"unknown core kind: {core_kind!r}")
         self.model = model
         self.core_config = core_config
         self.switches = switches or model.config.switches
@@ -96,8 +97,9 @@ class EMSim:
         if self.core_kind == "out-of-order":
             from ..uarch.ooo import OutOfOrderCore
             if not self.switches.model_mispredicts:
-                raise ValueError("the no-mispredict ablation is only "
-                                 "implemented for the in-order core")
+                raise ConfigurationError(
+                    "the no-mispredict ablation is only implemented "
+                    "for the in-order core")
             core = OutOfOrderCore(program, config=config)
             return core.run(max_cycles=max_cycles)
         oracle = None

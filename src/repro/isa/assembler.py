@@ -29,13 +29,9 @@ from .registers import register_index
 from .spec import OPCODES, InstrClass, InstrFormat
 
 
-class AssemblerError(ValueError):
-    """Raised for any syntactic or semantic assembly error."""
-
-    def __init__(self, message: str, line_number: int = 0, line: str = ""):
-        location = f" (line {line_number}: {line.strip()!r})" if line else ""
-        super().__init__(message + location)
-        self.line_number = line_number
+# AssemblerError lives in the typed error hierarchy (exit code 20) and
+# is re-exported here, its historical home, for existing callers.
+from ..robustness.errors import AssemblerError
 
 
 _COMMENT_RE = re.compile(r"[#;].*$")

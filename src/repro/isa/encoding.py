@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict
 
+from ..robustness.errors import AssemblerError
 from .spec import (
     InstrFormat,
     OPCODES,
@@ -44,16 +45,17 @@ def to_unsigned(value: int, bits: int = 32) -> int:
 
 def _check_reg(name: str, value: int) -> None:
     if not 0 <= value < 32:
-        raise ValueError(f"{name} out of range: {value}")
+        raise AssemblerError(f"{name} out of range: {value}")
 
 
 def _check_imm(fmt: InstrFormat, imm: int) -> None:
     lo, hi = IMM_RANGES[fmt]
     if not lo <= imm <= hi:
-        raise ValueError(f"immediate {imm} out of range for {fmt.value} "
-                         f"format [{lo}, {hi}]")
+        raise AssemblerError(f"immediate {imm} out of range for "
+                             f"{fmt.value} format [{lo}, {hi}]")
     if fmt in (InstrFormat.B, InstrFormat.J) and imm % 2:
-        raise ValueError(f"{fmt.value}-format immediate must be even: {imm}")
+        raise AssemblerError(f"{fmt.value}-format immediate must be "
+                             f"even: {imm}")
 
 
 def encode(name: str, rd: int = 0, rs1: int = 0, rs2: int = 0,
@@ -72,7 +74,7 @@ def encode(name: str, rd: int = 0, rs1: int = 0, rs2: int = 0,
 
     if name in ("slli", "srli", "srai"):
         if not 0 <= imm < 32:
-            raise ValueError(f"shift amount out of range: {imm}")
+            raise AssemblerError(f"shift amount out of range: {imm}")
         return (spec.funct7 << 25 | imm << 20 | rs1 << 15 |
                 spec.funct3 << 12 | rd << 7 | spec.opcode)
     if name == "ebreak":

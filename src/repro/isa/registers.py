@@ -7,6 +7,8 @@ accepts either spelling; the rest of the package uses plain integer indices.
 
 from __future__ import annotations
 
+from ..robustness.errors import AssemblerError
+
 NUM_REGISTERS = 32
 """Number of architectural integer registers in RV32I."""
 
@@ -36,12 +38,12 @@ def register_index(name: str) -> int:
     """
     key = name.strip().lower()
     if key not in _NAME_TO_INDEX:
-        raise ValueError(f"unknown register name: {name!r}")
+        raise AssemblerError(f"unknown register name: {name!r}")
     return _NAME_TO_INDEX[key]
 
 
 def register_name(index: int) -> str:
     """Return the canonical ABI name for register ``index``."""
     if not 0 <= index < NUM_REGISTERS:
-        raise ValueError(f"register index out of range: {index}")
+        raise AssemblerError(f"register index out of range: {index}")
     return ABI_NAMES[index]

@@ -16,6 +16,8 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
+from ..robustness.errors import AssemblerError
+
 
 class InstrFormat(enum.Enum):
     """The six RV32 encoding formats (RISC-V spec v2.2, section 2.2)."""
@@ -205,7 +207,7 @@ def lookup_decode(opcode: int, funct3: int, funct7: int, imm: int = 0) -> str:
     for name in ("lui", "auipc", "jal"):
         if OPCODES[name].opcode == opcode:
             return name
-    raise ValueError(
+    raise AssemblerError(
         f"cannot decode opcode={opcode:#09b} funct3={funct3:#05b} "
         f"funct7={funct7:#09b}"
     )

@@ -34,8 +34,9 @@ MAX_BLOCK = 8
 """Largest skip-block (instructions) the pass will balance."""
 
 
-class MitigationError(ValueError):
-    """Raised when a program cannot be safely transformed."""
+# MitigationError lives in the typed error hierarchy (exit code 22) and
+# is re-exported here, its historical home, for existing callers.
+from ..robustness.errors import MitigationError
 
 
 def _is_cloneable(instr: Instruction) -> bool:

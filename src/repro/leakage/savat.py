@@ -19,7 +19,7 @@ from ..isa.program import Program
 from ..observability import record_campaign
 from ..parallel import resolve_workers, supervised_map
 from ..robustness.checkpoint import CheckpointJournal, content_key
-from ..robustness.errors import CampaignError
+from ..robustness.errors import CampaignError, ProbeError
 from ..signal.spectrum import harmonic_energy
 from ..workloads.generators import wrap_program
 
@@ -63,7 +63,7 @@ def _savat_burst(kind: str, burst_cycles: int, pointer_reg: int = 9
             code.append(Instruction("addi", rd=pointer_reg,
                                     rs1=pointer_reg, imm=_LINE_BYTES))
         return code
-    raise ValueError(f"unknown SAVAT instruction {kind!r}")
+    raise ProbeError(f"unknown SAVAT instruction {kind!r}")
 
 
 def savat_program(kind_a: str, kind_b: str, repeats: int = 12,

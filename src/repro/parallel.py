@@ -494,6 +494,9 @@ class SupervisedPool:
                                               profiler):
                         continue
                     if propagate:
+                        # repro: allow[E601] deliberate re-raise of the
+                        # worker's original exception; converting here
+                        # would erase the type callers dispatch on.
                         raise
                     break
                 results[index] = value

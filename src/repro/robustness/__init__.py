@@ -21,10 +21,11 @@ ladder, and campaign supervision/resume end to end.
 
 from .checkpoint import (JOURNAL_SCHEMA, CheckpointJournal, content_key,
                          journal_summary)
-from .errors import (AcquisitionError, AnalysisError, CampaignError,
-                     CaptureQualityError, CheckpointError,
-                     ConfigurationError, ConvergenceError, ModelFormatError,
-                     ProbeError, ReproError, exit_code_for)
+from .errors import (AcquisitionError, AnalysisError, AssemblerError,
+                     CampaignError, CaptureQualityError, CheckpointError,
+                     ConfigurationError, ConvergenceError, MitigationError,
+                     ModelFormatError, ProbeError, ReproError,
+                     TraceCodecError, exit_code_for)
 from .faults import FAULT_KINDS, FaultInjector, FaultPlan
 from .health import (CaptureQuality, HealthPolicy, RepetitionScreen,
                      assess_capture, clipping_ratio, screen_repetitions)
@@ -35,6 +36,7 @@ __all__ = [
     "AcquisitionError",
     "AcquisitionStats",
     "AnalysisError",
+    "AssemblerError",
     "CampaignError",
     "CaptureQuality",
     "CaptureQualityError",
@@ -48,12 +50,14 @@ __all__ = [
     "FaultPlan",
     "HealthPolicy",
     "JOURNAL_SCHEMA",
+    "MitigationError",
     "ModelFormatError",
     "ProbeError",
     "ProbeOutcome",
     "RepetitionScreen",
     "ReproError",
     "RetryPolicy",
+    "TraceCodecError",
     "assess_capture",
     "clipping_ratio",
     "content_key",

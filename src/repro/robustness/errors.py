@@ -129,6 +129,40 @@ class CheckpointError(ReproError):
     exit_code = 19
 
 
+class AssemblerError(ReproError, ValueError):
+    """Raised for any syntactic or semantic assembly error.
+
+    Lives here (rather than in :mod:`repro.isa.assembler`, which
+    re-exports it) so the CLI exit-code table and the static E601
+    escape analysis see one authoritative hierarchy.
+    """
+
+    exit_code = 20
+
+    def __init__(self, message: str, line_number: int = 0, line: str = ""):
+        location = f" (line {line_number}: {line.strip()!r})" if line else ""
+        super().__init__(message + location)
+        self.line_number = line_number
+
+
+class TraceCodecError(ReproError, ValueError):
+    """Raised when a byte stream is not a valid ``repro-trace/1`` trace.
+
+    Re-exported by :mod:`repro.uarch.tracecodec`, its historical home.
+    """
+
+    exit_code = 21
+
+
+class MitigationError(ReproError, ValueError):
+    """Raised when a program cannot be safely balance-transformed.
+
+    Re-exported by :mod:`repro.leakage.mitigation`, its historical home.
+    """
+
+    exit_code = 22
+
+
 def exit_code_for(error: BaseException) -> int:
     """CLI exit code for an exception (1 for non-:class:`ReproError`)."""
     if isinstance(error, ReproError):

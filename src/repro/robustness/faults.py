@@ -26,7 +26,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from .errors import AcquisitionError
+from .errors import AcquisitionError, ConfigurationError
 
 __all__ = ["FaultPlan", "FaultInjector", "CorruptionRecipe", "FAULT_KINDS"]
 
@@ -81,7 +81,8 @@ class FaultPlan:
         experiments); rarer catastrophic faults scale down from it.
         """
         if not 0.0 <= rate <= 1.0:
-            raise ValueError(f"fault rate must be in [0, 1]: {rate!r}")
+            raise ConfigurationError(
+                f"fault rate must be in [0, 1]: {rate!r}")
         return cls(
             trigger_loss_prob=rate,
             brownout_prob=rate / 10.0,

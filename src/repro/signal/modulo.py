@@ -44,7 +44,11 @@ def modulo_average(samples: np.ndarray, sample_times: np.ndarray,
     reference[filled] = sums[filled] / counts[filled]
     if not filled.all():
         if not filled.any():
-            raise ValueError("no samples fell into any bin")
+            # imported here, not at module top: robustness.health
+            # imports this module, so a top-level errors import would
+            # be a hard import cycle.
+            from ..robustness.errors import AcquisitionError
+            raise AcquisitionError("no samples fell into any bin")
         grid = np.arange(num_bins)
         reference[~filled] = np.interp(grid[~filled], grid[filled],
                                        reference[filled], period=num_bins)

@@ -20,6 +20,7 @@ from scipy import sparse
 from scipy.sparse.linalg import splu, spsolve
 
 from ..profiling import get_profiler
+from ..robustness.errors import ConfigurationError
 from .kernels import Kernel
 
 
@@ -94,8 +95,8 @@ def estimate_cycle_amplitudes(signal: np.ndarray, kernel: Kernel,
     """
     signal = np.asarray(signal, dtype=float)
     if len(signal) % samples_per_cycle:
-        raise ValueError("signal length must be a multiple of "
-                         "samples_per_cycle")
+        raise ConfigurationError("signal length must be a multiple of "
+                                 "samples_per_cycle")
     num_cycles = len(signal) // samples_per_cycle
     if cached:
         operator, solver = _cached_deconvolver(

@@ -11,6 +11,8 @@ from typing import Tuple
 
 import numpy as np
 
+from ..robustness.errors import AcquisitionError, ConfigurationError
+
 
 def power_spectrum(signal: np.ndarray,
                    sample_rate: float) -> Tuple[np.ndarray, np.ndarray]:
@@ -24,8 +26,8 @@ def power_spectrum(signal: np.ndarray,
     window_energy = float(np.sum(window ** 2))
     if window_energy <= 0.0:
         # hanning(0) is empty and hanning(2) is all zeros
-        raise ValueError("capture too short: Hann window has zero "
-                         "energy, no spectrum can be formed")
+        raise AcquisitionError("capture too short: Hann window has "
+                               "zero energy, no spectrum can be formed")
     spectrum = np.fft.rfft((signal - signal.mean()) * window)
     power = (np.abs(spectrum) ** 2) / window_energy
     frequencies = np.fft.rfftfreq(len(signal), d=1.0 / sample_rate)
@@ -46,7 +48,8 @@ def spike_energy(signal: np.ndarray, sample_rate: float,
     in_band = (frequencies >= target_frequency - half_band) & \
         (frequencies <= target_frequency + half_band)
     if not in_band.any():
-        raise ValueError("target frequency outside the captured spectrum")
+        raise ConfigurationError(
+            "target frequency outside the captured spectrum")
     flank = ((frequencies >= target_frequency - 4 * half_band) &
              (frequencies < target_frequency - half_band)) | \
         ((frequencies > target_frequency + half_band) &

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from ..robustness.errors import ConfigurationError
+
 
 class _SaturatingCounter:
     """Classic 2-bit saturating taken/not-taken counter."""
@@ -123,7 +125,8 @@ class BranchTargetBuffer:
 
     def __init__(self, entries: int = 64):
         if entries & (entries - 1):
-            raise ValueError("BTB entry count must be a power of two")
+            raise ConfigurationError(
+                "BTB entry count must be a power of two")
         self.entries = entries
         self._table: Dict[int, Tuple[int, int]] = {}  # index -> (tag, tgt)
 
@@ -156,4 +159,4 @@ def make_predictor(kind: str, history_bits: int = 4,
     if kind == "gshare":
         return GShare(history_bits=max(history_bits, 8),
                       table_bits=table_bits)
-    raise ValueError(f"unknown predictor kind: {kind!r}")
+    raise ConfigurationError(f"unknown predictor kind: {kind!r}")

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Tuple
 from ..isa.encoding import sign_extend, to_unsigned
 from ..isa.instructions import Instruction
 from ..isa.program import TEXT_BASE, Program
+from ..robustness.errors import AssemblerError
 
 MASK32 = 0xFFFFFFFF
 
@@ -70,7 +71,7 @@ def alu_result(instr: Instruction, a: int, b: int, pc: int) -> int:
         return (pc + imm) & MASK32  # branch target (condition is separate)
     if name in ("fence", "ecall", "ebreak"):
         return 0
-    raise ValueError(f"no ALU semantics for {name}")
+    raise AssemblerError(f"no ALU semantics for {name}")
 
 
 def muldiv_result(name: str, a: int, b: int) -> int:
@@ -102,7 +103,7 @@ def muldiv_result(name: str, a: int, b: int) -> int:
         return (-remainder if sa < 0 else remainder) & MASK32
     if name == "remu":
         return a if b == 0 else (a % b) & MASK32
-    raise ValueError(f"not a muldiv instruction: {name}")
+    raise AssemblerError(f"not a muldiv instruction: {name}")
 
 
 def branch_taken(instr: Instruction, a: int, b: int) -> bool:
@@ -120,7 +121,7 @@ def branch_taken(instr: Instruction, a: int, b: int) -> bool:
         return a < b
     if name == "bgeu":
         return a >= b
-    raise ValueError(f"not a branch: {name}")
+    raise AssemblerError(f"not a branch: {name}")
 
 
 def load_width(name: str) -> Tuple[int, bool]:

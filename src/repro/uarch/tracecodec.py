@@ -62,8 +62,9 @@ _CODE_COLUMNS = (("kind", "u1"), ("instr", "<i4"), ("seq", "<i4"),
                  ("dyn", "u1"), ("em", "u1"))
 
 
-class TraceCodecError(ValueError):
-    """Raised when a byte stream is not a valid ``repro-trace/1`` trace."""
+# TraceCodecError lives in the typed error hierarchy (exit code 21) and
+# is re-exported here, its historical home, for existing callers.
+from ..robustness.errors import TraceCodecError
 
 
 def is_encoded_trace(payload: bytes) -> bool:

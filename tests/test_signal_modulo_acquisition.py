@@ -5,6 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.robustness import AcquisitionError
 from repro.signal import (DampedSineKernel, Oscilloscope, ScopeConfig,
                           fold_repetitions, gaussian_smooth,
                           modular_offsets, modulo_average, moving_average,
@@ -45,7 +46,7 @@ def test_modulo_average_interpolates_empty_bins():
 
 
 def test_modulo_average_requires_samples():
-    with pytest.raises(ValueError):
+    with pytest.raises(AcquisitionError):
         modulo_average(np.array([]), np.array([]), 4.0, 8)
 
 

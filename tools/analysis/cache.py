@@ -1,0 +1,132 @@
+"""Incremental-analysis cache: per-module records under content keys.
+
+Same discipline as :mod:`repro.core.trace_cache`: every entry lives
+under a SHA-256 key derived from *all* of its inputs, writes are
+atomic (tmp file + rename), and anything unreadable, truncated, or
+mismatched is a miss — a tampered entry can only cost a recompute,
+never change a finding.
+
+Two entry kinds:
+
+* ``imports-*`` — a module's import list, keyed by its own source
+  hash.  This is what lets a warm run recover the import graph without
+  parsing unchanged files.
+* ``module-*`` — the full :class:`~tools.analysis.project.ModuleRecord`
+  (file findings, suppressions, tags, summary), keyed by the module's
+  *tree hash*: its own source hash combined with the hashes of every
+  module transitively reachable through its imports.  Editing one file
+  therefore invalidates exactly that module and its transitive
+  importers — the invalidation walks the import graph, matching how
+  whole-program facts flow.
+
+Both keys also fold in the engine fingerprint (the analyzer's own
+sources, the active rule ids, and the effective config), so upgrading
+a rule or flipping a config knob is automatically a cold run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Set
+
+CACHE_SCHEMA = "repro-lint-cache/1"
+
+
+def engine_fingerprint(config_repr: str,
+                       rule_ids: Sequence[str]) -> str:
+    """Hash of the analyzer itself: sources + rules + config."""
+    digest = hashlib.sha256()
+    engine_dir = os.path.dirname(os.path.abspath(__file__))
+    for directory, subdirs, files in sorted(os.walk(engine_dir)):
+        subdirs.sort()
+        subdirs[:] = [d for d in subdirs if d != "__pycache__"]
+        for name in sorted(files):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(directory, name)
+            digest.update(os.path.relpath(path, engine_dir).encode())
+            with open(path, "rb") as handle:
+                digest.update(handle.read())
+    digest.update(config_repr.encode())
+    digest.update(",".join(sorted(rule_ids)).encode())
+    return digest.hexdigest()
+
+
+def source_hash(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def tree_hashes(own: Dict[str, str],
+                deps: Dict[str, Set[str]],
+                fingerprint: str) -> Dict[str, str]:
+    """Per-module tree hash: own hash + every reachable dep's hash.
+
+    Reachability (rather than direct deps) keeps the key stable and
+    cycle-safe: a module in an import cycle simply reaches every other
+    member, so all of them share the same invalidation fate.
+    """
+    closure: Dict[str, Set[str]] = {}
+    for module in own:
+        reached: Set[str] = set()
+        frontier = [module]
+        while frontier:
+            current = frontier.pop()
+            if current in reached:
+                continue
+            reached.add(current)
+            frontier.extend(dep for dep in deps.get(current, ())
+                            if dep in own)
+        closure[module] = reached
+    hashes = {}
+    for module, reached in closure.items():
+        digest = hashlib.sha256()
+        digest.update(fingerprint.encode())
+        # the module's own identity first: members of one import cycle
+        # share a closure (same invalidation fate) but must never share
+        # a key, or they would load each other's records.
+        digest.update(f"module:{module}\n".encode())
+        for name in sorted(reached):
+            digest.update(f"{name}:{own[name]}\n".encode())
+        hashes[module] = digest.hexdigest()
+    return hashes
+
+
+class SummaryCache:
+    """Directory of JSON cache entries, validated on every load."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+
+    def _path(self, kind: str, key: str) -> str:
+        return os.path.join(self.directory, f"{kind}-{key}.json")
+
+    def load(self, kind: str, key: str) -> Optional[dict]:
+        """The cached document, or ``None`` on any irregularity."""
+        path = self._path(kind, key)
+        try:
+            with open(path) as handle:
+                document = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(document, dict):
+            return None
+        if document.get("schema") != CACHE_SCHEMA or \
+                document.get("key") != key:
+            return None
+        return document.get("payload")
+
+    def store(self, kind: str, key: str, payload: dict) -> None:
+        """Atomically persist one entry (corrupt-on-crash safe)."""
+        os.makedirs(self.directory, exist_ok=True)
+        path = self._path(kind, key)
+        document = {"schema": CACHE_SCHEMA, "key": key,
+                    "payload": payload}
+        temporary = f"{path}.tmp.{os.getpid()}"
+        with open(temporary, "w") as handle:
+            json.dump(document, handle, sort_keys=True)
+        os.replace(temporary, path)
+
+    def entry_exists(self, kind: str, key: str) -> bool:
+        return os.path.exists(self._path(kind, key))

@@ -1,0 +1,315 @@
+"""Conservative call graph + interprocedural engines over the index.
+
+Built in one pass from the per-module summaries: every function
+(``module:Class.method``) is a node, and every summarized call site
+contributes edges by one of three strategies, in decreasing precision:
+
+* **resolved refs** — the summary pinned a dotted target and the
+  :class:`~tools.analysis.project.ProjectIndex` resolves it to a
+  project function (or a class, which edges into its ``__init__``);
+* **self dispatch** — ``self.helper()`` resolves within the enclosing
+  class, then through its statically-known base classes;
+* **name-based over-approximation** — anything dynamic (a callable
+  parameter, a method on an arbitrary object) falls back to *every*
+  project function with the same bare name, capped by
+  ``dynamic-call-fanout`` so one ``obj.get(...)`` cannot wire the
+  whole repo together.  Unmatched or over-cap dynamic calls stay
+  edge-less: the analyses document themselves as best-effort rather
+  than drowning the report in noise.
+
+Two engines run on the graph: plain BFS reachability (seed
+provenance), and a worklist fixpoint for exception escape — for each
+function, the set of exception types that can propagate out of it,
+with ``except`` clauses subtracted via a class-hierarchy-aware match
+(project classes from the index + the builtin exception tree).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .project import ProjectIndex
+
+#: a node is ``(module, qualified function name)``.
+Node = Tuple[str, str]
+
+#: the builtin exception hierarchy the escape engine knows (child ->
+#: parents); anything absent is assumed to be an ``Exception`` subclass.
+BUILTIN_EXC_BASES: Dict[str, Tuple[str, ...]] = {
+    "BaseException": (),
+    "Exception": ("BaseException",),
+    "GeneratorExit": ("BaseException",),
+    "KeyboardInterrupt": ("BaseException",),
+    "SystemExit": ("BaseException",),
+    "ArithmeticError": ("Exception",),
+    "AssertionError": ("Exception",),
+    "AttributeError": ("Exception",),
+    "BufferError": ("Exception",),
+    "EOFError": ("Exception",),
+    "ImportError": ("Exception",),
+    "LookupError": ("Exception",),
+    "MemoryError": ("Exception",),
+    "NameError": ("Exception",),
+    "OSError": ("Exception",),
+    "ReferenceError": ("Exception",),
+    "RuntimeError": ("Exception",),
+    "StopAsyncIteration": ("Exception",),
+    "StopIteration": ("Exception",),
+    "SyntaxError": ("Exception",),
+    "TypeError": ("Exception",),
+    "ValueError": ("Exception",),
+    "Warning": ("Exception",),
+    "FloatingPointError": ("ArithmeticError",),
+    "OverflowError": ("ArithmeticError",),
+    "ZeroDivisionError": ("ArithmeticError",),
+    "ModuleNotFoundError": ("ImportError",),
+    "IndexError": ("LookupError",),
+    "KeyError": ("LookupError",),
+    "UnboundLocalError": ("NameError",),
+    "IOError": ("OSError",),
+    "ConnectionError": ("OSError",),
+    "FileExistsError": ("OSError",),
+    "FileNotFoundError": ("OSError",),
+    "IsADirectoryError": ("OSError",),
+    "NotADirectoryError": ("OSError",),
+    "PermissionError": ("OSError",),
+    "TimeoutError": ("OSError",),
+    "NotImplementedError": ("RuntimeError",),
+    "RecursionError": ("RuntimeError",),
+    "UnicodeError": ("ValueError",),
+    "UnicodeDecodeError": ("UnicodeError",),
+    "UnicodeEncodeError": ("UnicodeError",),
+}
+
+
+class ExceptionHierarchy:
+    """``except``-clause matching over project + builtin class trees."""
+
+    def __init__(self, index: ProjectIndex):
+        self._project = index.class_bases()
+        self._cache: Dict[str, Set[str]] = {}
+
+    def ancestors(self, name: str) -> Set[str]:
+        """``name`` plus every statically-known base, transitively.
+
+        Unknown names are assumed to descend from ``Exception`` — the
+        common case for classes defined outside the lint surface — so
+        a broad ``except Exception`` handler still counts as catching
+        them (fewer false escapes, never more).
+        """
+        cached = self._cache.get(name)
+        if cached is not None:
+            return cached
+        seen: Set[str] = set()
+        frontier = [name]
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            parents: Iterable[str]
+            if current in self._project:
+                parents = set(self._project[current]) | \
+                    set(BUILTIN_EXC_BASES.get(current, ()))
+            elif current in BUILTIN_EXC_BASES:
+                parents = BUILTIN_EXC_BASES[current]
+            else:
+                parents = ("Exception",)
+            frontier.extend(parents)
+        self._cache[name] = seen
+        return seen
+
+    def catches(self, raised: str, handlers: Iterable[str]) -> bool:
+        """Whether any handler type name catches ``raised``."""
+        ancestry = None
+        for handler in handlers:
+            if handler == "BaseException":
+                return True
+            if ancestry is None:
+                ancestry = self.ancestors(raised)
+            if handler in ancestry:
+                return True
+        return False
+
+
+class CallGraph:
+    """Edges between project functions, resolved from summaries."""
+
+    def __init__(self, index: ProjectIndex):
+        self.index = index
+        self.config = index.config
+        self.nodes: List[Node] = []
+        self._by_bare: Dict[str, List[Node]] = {}
+        for module in index.modules():
+            for qual in index.summary(module)["functions"]:
+                node = (module, qual)
+                self.nodes.append(node)
+                bare = qual.split(".")[-1]
+                self._by_bare.setdefault(bare, []).append(node)
+        for candidates in self._by_bare.values():
+            candidates.sort()
+        self.nodes.sort()
+        self._edges: Dict[Node, List[Tuple[int, Tuple[str, ...],
+                                           Tuple[Node, ...]]]] = {}
+        for node in self.nodes:
+            self._edges[node] = self._build_edges(node)
+
+    # ------------------------------------------------------------------
+    # target resolution
+    # ------------------------------------------------------------------
+    def resolve_callable(self, kind: str, value: str,
+                         cls: Optional[str] = None,
+                         module: Optional[str] = None
+                         ) -> Tuple[Node, ...]:
+        """Function nodes a summarized call target can reach.
+
+        ``ref`` targets resolve exactly (a class ref edges into its
+        ``__init__`` when one exists); ``self`` targets search the
+        enclosing class then its bases; ``dyn`` targets match by bare
+        name, dropped entirely above the ``dynamic-call-fanout`` cap.
+        """
+        if kind == "ref":
+            resolved = self.index.resolve(value)
+            if resolved is None:
+                return ()
+            rkind, rmodule, rqual = resolved
+            if rkind == "function":
+                return ((rmodule, rqual),)
+            if rkind == "class":
+                init = f"{rqual}.__init__"
+                if self.index.function(rmodule, init) is not None:
+                    return ((rmodule, init),)
+            return ()
+        if kind == "self" and cls is not None and module is not None:
+            found = self._resolve_method(module, cls, value)
+            if found is not None:
+                return (found,)
+            kind = "dyn"
+        if kind == "dyn":
+            candidates = self._by_bare.get(value, [])
+            if 0 < len(candidates) <= self.config.dynamic_call_fanout:
+                return tuple(candidates)
+        return ()
+
+    def _resolve_method(self, module: str, cls: str,
+                        method: str) -> Optional[Node]:
+        seen: Set[str] = set()
+        frontier = [f"{module}.{cls}"]
+        while frontier:
+            ref = frontier.pop(0)
+            if ref in seen:
+                continue
+            seen.add(ref)
+            resolved = self.index.resolve(ref)
+            if resolved is None or resolved[0] != "class":
+                continue
+            _, cmodule, cqual = resolved
+            candidate = f"{cqual}.{method}"
+            if self.index.function(cmodule, candidate) is not None:
+                return (cmodule, candidate)
+            summary = self.index.summary(cmodule)
+            frontier.extend(summary["classes"][cqual]["bases"])
+        return None
+
+    def _build_edges(self, node: Node
+                     ) -> List[Tuple[int, Tuple[str, ...],
+                                     Tuple[Node, ...]]]:
+        module, qual = node
+        info = self.index.function(module, qual)
+        edges = []
+        for line, kind, value, caught in info["calls"]:
+            targets = self.resolve_callable(kind, value,
+                                            cls=info.get("cls"),
+                                            module=module)
+            if targets:
+                edges.append((line, tuple(caught), targets))
+        return edges
+
+    def edges(self, node: Node) -> List[Tuple[int, Tuple[str, ...],
+                                              Tuple[Node, ...]]]:
+        """``(line, caught-at-site, targets)`` for each resolved call."""
+        return self._edges.get(node, [])
+
+    # ------------------------------------------------------------------
+    # reachability
+    # ------------------------------------------------------------------
+    def reachable(self, entries: Iterable[Node]
+                  ) -> Dict[Node, Tuple[Node, ...]]:
+        """BFS closure: node -> the path of nodes that reached it."""
+        paths: Dict[Node, Tuple[Node, ...]] = {}
+        queue = deque()
+        for entry in sorted(set(entries)):
+            if entry in self._edges and entry not in paths:
+                paths[entry] = (entry,)
+                queue.append(entry)
+        while queue:
+            node = queue.popleft()
+            for _, _, targets in self.edges(node):
+                for target in targets:
+                    if target not in paths:
+                        paths[target] = paths[node] + (target,)
+                        queue.append(target)
+        return paths
+
+    # ------------------------------------------------------------------
+    # exception escape
+    # ------------------------------------------------------------------
+    def escapes(self) -> Dict[Node, Dict[str, tuple]]:
+        """Fixpoint: node -> {exception name -> witness}.
+
+        A witness is ``("raise", line)`` for a local raise or
+        ``("call", line, callee)`` for propagation, so a report can
+        reconstruct the chain down to the offending ``raise``.
+        """
+        hierarchy = ExceptionHierarchy(self.index)
+        escapes: Dict[Node, Dict[str, tuple]] = {
+            node: {} for node in self.nodes}
+        callers: Dict[Node, Set[Node]] = {}
+        for node in self.nodes:
+            module, qual = node
+            info = self.index.function(module, qual)
+            for line, name, caught in info["raises"]:
+                if hierarchy.catches(name, caught):
+                    continue
+                escapes[node].setdefault(name, ("raise", line))
+            for _, _, targets in self.edges(node):
+                for target in targets:
+                    callers.setdefault(target, set()).add(node)
+        queue = deque(self.nodes)
+        queued = set(self.nodes)
+        while queue:
+            node = queue.popleft()
+            queued.discard(node)
+            changed = False
+            for line, caught, targets in self.edges(node):
+                for target in targets:
+                    for name in sorted(escapes[target]):
+                        if name in escapes[node]:
+                            continue
+                        if hierarchy.catches(name, caught):
+                            continue
+                        escapes[node][name] = ("call", line, target)
+                        changed = True
+            if changed:
+                for caller in sorted(callers.get(node, ())):
+                    if caller not in queued:
+                        queued.add(caller)
+                        queue.append(caller)
+        return escapes
+
+    def escape_chain(self, escapes: Dict[Node, Dict[str, tuple]],
+                     node: Node, name: str,
+                     limit: int = 8) -> Tuple[List[Node], Optional[int]]:
+        """Follow witnesses to the raise: (call path, raise line)."""
+        path = [node]
+        current = node
+        for _ in range(limit):
+            witness = escapes.get(current, {}).get(name)
+            if witness is None:
+                return path, None
+            if witness[0] == "raise":
+                return path, witness[1]
+            current = witness[2]
+            path.append(current)
+        return path, None

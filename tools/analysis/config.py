@@ -55,7 +55,7 @@ class AnalysisConfig:
     #: process exit codes the repo documents (E304); kept in sync with
     #: the ``ReproError`` table in ``docs/robustness.md``.
     exit_codes: List[int] = field(default_factory=lambda: [
-        0, 1, 2, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19])
+        0, 1, 2, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22])
     #: markdown surfaces checked by the doc rules (A402/A403).
     doc_files: List[str] = field(default_factory=lambda: [
         "README.md", "docs"])
@@ -79,6 +79,46 @@ class AnalysisConfig:
     #: flags inside hot-loop functions (matched by unqualified name).
     hot_loop_types: List[str] = field(default_factory=lambda: [
         "StageOccupancy"])
+    #: import roots mapping file paths to dotted module names for the
+    #: ProjectIndex; tried in order (``src/repro/cli.py`` ->
+    #: ``repro.cli``, ``tools/analysis/cli.py`` -> ``tools.analysis.cli``).
+    source_roots: List[str] = field(default_factory=lambda: [
+        "src", "."])
+    #: seed-critical entry points for the D201 provenance pass: every
+    #: unseeded-RNG site reachable from one of these (``Class.method``
+    #: or bare function quals) is flagged — a trace must be a pure
+    #: function of (program, config, seed).
+    seed_entry_points: List[str] = field(default_factory=lambda: [
+        "EMSim.simulate", "EMSim.simulate_many",
+        "BatchSimulator.simulate_many", "supervised_campaign",
+        "measurement_campaign", "Trainer.train", "Trainer.fit"])
+    #: exception families the CLI layer's top-level handler converts to
+    #: documented exit codes (E601 treats raises of these as covered).
+    cli_handled_exceptions: List[str] = field(default_factory=lambda: [
+        "ReproError"])
+    #: exception names E601 never flags: argparse's own types, process
+    #: control, and internal-bug signals where a traceback is wanted.
+    cli_exempt_escapes: List[str] = field(default_factory=lambda: [
+        "ArgumentError", "ArgumentTypeError", "AssertionError",
+        "KeyboardInterrupt", "MemoryError", "NotImplementedError",
+        "RecursionError", "StopIteration", "SystemExit"])
+    #: bare function names that fan work out across processes; their
+    #: first argument is the worker the X701 IPC pass audits.
+    fanout_functions: List[str] = field(default_factory=lambda: [
+        "parallel_map", "supervised_map"])
+    #: project-defined class names allowed to cross the SupervisedPool
+    #: worker boundary (X701); everything else must be codec arrays or
+    #: plain JSON-able types.  Each entry is justified in
+    #: ``docs/static-analysis.md``.
+    ipc_allowlist: List[str] = field(default_factory=lambda: [
+        "CampaignProbe", "SavatMeasurement", "Measurement"])
+    #: name-based (dynamic) call edges are dropped when a bare name
+    #: matches more than this many project functions — the graph stays
+    #: an over-approximation without wiring the whole repo together.
+    dynamic_call_fanout: int = 6
+    #: where the incremental engine keeps per-module records (relative
+    #: to the repo root; gitignored).
+    cache_dir: str = ".repro-lint-cache"
 
 
 def _pyproject_section(root: str, *keys: str) -> dict:

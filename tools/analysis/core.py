@@ -12,9 +12,22 @@ The design splits a *rule* (one invariant, one ``RULE-ID``) from the
 * :class:`ProjectRule` subclasses skip the AST and check repo-level
   artifacts (markdown links, the CLI reference) via
   :meth:`ProjectRule.check_project`.
+* :class:`ProgramRule` subclasses see the *whole program*: the engine
+  builds a :class:`~tools.analysis.project.ProjectIndex` (symbol
+  tables, import graph, call-graph summaries) over the full lint
+  surface and hands it to :meth:`ProgramRule.check_program` — this is
+  how the interprocedural families (seed provenance ``D2xx``,
+  exit-code contracts ``E6xx``, IPC hygiene ``X7xx``) run.
 * :class:`FileContext` gives rules the shared per-file facts they need:
   resolved import aliases (``np`` -> ``numpy``), parent links,
   ``np.errstate`` spans, and inline suppression comments.
+
+Per-file work is cached incrementally when the engine is given a cache
+directory: each module's record (findings, suppressions, summary) is
+stored under a content hash of the module *and everything it
+transitively imports* (see :mod:`tools.analysis.cache`), so a warm run
+re-analyzes only what a change can actually affect and produces
+byte-identical findings to a cold run.
 
 Output is deterministic by construction: files are discovered in sorted
 order, findings are sorted by ``(path, line, col, rule, message)``, and
@@ -27,7 +40,8 @@ import ast
 import os
 import re
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (Any, Dict, Iterator, List, Optional, Sequence, Set,
+                    Tuple)
 
 from .config import AnalysisConfig, path_matches
 
@@ -77,6 +91,10 @@ class FileContext:
         self.imports: Dict[str, str] = {}
         self.errstate_spans: List[Tuple[int, int]] = []
         self.suppressions: Dict[int, set] = {}
+        #: every allow tag: ``(tag line, rule ids, covered lines)`` —
+        #: the stale-suppression pass (``A405``) audits these.
+        self.suppression_tags: List[Tuple[int, Tuple[str, ...],
+                                          Tuple[int, ...]]] = []
         self._index(tree)
         self._scan_suppressions()
 
@@ -111,20 +129,24 @@ class FileContext:
             match = SUPPRESS_RE.search(line)
             if not match:
                 continue
-            ids = {part.strip() for part in match.group(1).split(",")}
-            self.suppressions.setdefault(number, set()).update(ids)
-            if line[:match.start()].strip():
-                continue  # inline comment: applies to this line only
-            # standalone comment: also cover the next code line, so a
-            # multi-line explanation can sit between tag and statement
-            cursor = number
-            while cursor < len(self.lines):
-                text = self.lines[cursor].strip()
-                cursor += 1
-                if text and not text.startswith("#"):
-                    self.suppressions.setdefault(cursor,
-                                                 set()).update(ids)
-                    break
+            ids = tuple(sorted({part.strip()
+                                for part in match.group(1).split(",")}))
+            covered = [number]
+            if not line[:match.start()].strip():
+                # standalone comment: also cover the next code line, so
+                # a multi-line explanation can sit between tag and
+                # statement (inline tags apply to their own line only)
+                cursor = number
+                while cursor < len(self.lines):
+                    text = self.lines[cursor].strip()
+                    cursor += 1
+                    if text and not text.startswith("#"):
+                        covered.append(cursor)
+                        break
+            self.suppression_tags.append((number, ids, tuple(covered)))
+            for line_number in covered:
+                self.suppressions.setdefault(line_number,
+                                             set()).update(ids)
 
     # ------------------------------------------------------------------
     # queries
@@ -167,10 +189,18 @@ class FileContext:
 
 @dataclass
 class Project:
-    """Repo-level view handed to :class:`ProjectRule` passes."""
+    """Repo-level view handed to :class:`ProjectRule` passes.
+
+    ``index`` is the :class:`~tools.analysis.project.ProjectIndex`
+    when the engine built one (whole-program rules active or the cache
+    enabled), letting repo-level passes read cached per-module facts
+    instead of re-walking source trees; it is ``None`` on bare
+    file-scoped runs, and rules must fall back accordingly.
+    """
 
     root: str
     config: AnalysisConfig
+    index: Optional[Any] = None
 
 
 class Rule:
@@ -188,6 +218,9 @@ class Rule:
     #: AST node classes this rule wants to see; () = whole-file rule
     #: that only implements :meth:`check_file`.
     node_types: Tuple[type, ...] = ()
+    #: set by rules that consume the ProjectIndex when one is available
+    #: (forces the engine to build it even without ProgramRules).
+    needs_index: bool = False
 
     def applies_to(self, ctx: FileContext) -> bool:
         """Whether this rule runs on ``ctx`` at all (default: yes)."""
@@ -212,6 +245,56 @@ class ProjectRule(Rule):
         return iter(())
 
 
+class ProgramRule(Rule):
+    """Base class for whole-program (interprocedural) passes.
+
+    The engine builds one :class:`~tools.analysis.project.ProjectIndex`
+    over the *full* configured surface — even when the run itself is
+    scoped to a subset of files — and calls :meth:`check_program` once;
+    findings landing outside the scoped file set are dropped, so a
+    scoped run never reports on files it was not asked about while the
+    analysis itself still sees every caller and callee.
+    """
+
+    needs_index = True
+
+    def check_program(self, index: Any) -> Iterator[Finding]:
+        """Yield findings computed from the whole-program index."""
+        return iter(())
+
+
+class SyntaxErrorRule(Rule):
+    """E000: a file on the lint surface must parse.
+
+    The engine emits this one itself — an unparsable file yields a
+    single deterministic finding at the syntax error's position instead
+    of aborting the whole run, so one broken file cannot hide every
+    other finding in the report.  The class exists so the id shows up
+    in ``--list-rules`` and participates in ``--select`` filtering.
+    """
+
+    rule_id = "E000"
+    family = "engine"
+    title = "file on the lint surface fails to parse"
+
+
+class UnusedSuppressionRule(Rule):
+    """A405: every allow tag must actually suppress something.
+
+    A ``# repro: allow[...]`` comment whose rule ids silence no finding
+    on the lines it covers is stale — the violation was fixed, the rule
+    changed, or the tag was misplaced — and stale tags are how real
+    suppressions rot into unreviewed noise.  The engine computes this
+    after all other passes (including whole-program ones) have
+    attributed their suppressions, counting only rule ids that were
+    active in the run; tags naming unselected rules are left alone.
+    """
+
+    rule_id = "A405"
+    family = "hygiene"
+    title = "stale allow[] tag that suppresses nothing"
+
+
 @dataclass
 class ScanResult:
     """Everything one analyzer run produced, pre-sorted."""
@@ -221,14 +304,34 @@ class ScanResult:
     checked_files: int
 
 
+def _syntax_error_finding(path: str, error: SyntaxError) -> Finding:
+    """The deterministic E000 finding for an unparsable file."""
+    return Finding(path=path.replace(os.sep, "/"),
+                   line=error.lineno or 1,
+                   col=max(0, (error.offset or 1) - 1),
+                   rule=SyntaxErrorRule.rule_id,
+                   message=f"file does not parse: "
+                           f"{error.msg or 'invalid syntax'}; every "
+                           f"file on the lint surface must be valid "
+                           f"Python")
+
+
 class Analyzer:
-    """Runs a rule set over the configured lint surface."""
+    """Runs a rule set over the configured lint surface.
+
+    With ``cache_dir`` set, per-module records are reused across runs
+    under content-hash keys (see :mod:`tools.analysis.cache`); without
+    it every run is cold.  Cached and cold runs produce byte-identical
+    results — ``tests/test_analysis_project.py`` pins this.
+    """
 
     def __init__(self, rules: Sequence[Rule], config: AnalysisConfig,
-                 root: str):
+                 root: str, cache_dir: Optional[str] = None):
         self.rules = list(rules)
         self.config = config
         self.root = root
+        self.cache_dir = cache_dir
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # file discovery
@@ -255,23 +358,97 @@ class Analyzer:
             path.replace(os.sep, "/") for path in found))
 
     # ------------------------------------------------------------------
+    # engine identity (cache keying)
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Engine + config + ruleset hash folded into cache keys."""
+        if self._fingerprint is None:
+            from .cache import engine_fingerprint
+            self._fingerprint = engine_fingerprint(
+                repr(self.config),
+                [rule.rule_id for rule in self.rules])
+        return self._fingerprint
+
+    # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def run(self, paths: Optional[Sequence[str]] = None) -> ScanResult:
         """Analyze the surface; returns sorted kept/suppressed findings."""
+        from .project import ProjectIndex
+
+        program_rules = sorted(
+            (rule for rule in self.rules
+             if isinstance(rule, ProgramRule)),
+            key=lambda rule: rule.rule_id)
+        syntax_active = any(isinstance(rule, SyntaxErrorRule)
+                            for rule in self.rules)
+        unused_active = any(isinstance(rule, UnusedSuppressionRule)
+                            for rule in self.rules)
+        needs_index = (bool(program_rules) or
+                       self.cache_dir is not None or
+                       any(rule.needs_index for rule in self.rules))
+
+        reported = self.python_files(paths)
+        if needs_index:
+            all_files = sorted(set(reported) |
+                               set(self.python_files(None)))
+        else:
+            all_files = reported
+
+        records = self._collect_records(all_files, needs_index)
+        index = ProjectIndex(records, self.config, self.root) \
+            if needs_index else None
+
         kept: List[Finding] = []
         suppressed: List[Finding] = []
-        files = self.python_files(paths)
-        for relative in files:
-            with open(os.path.join(self.root, relative)) as handle:
-                source = handle.read()
-            tree = ast.parse(source, filename=relative)
-            ctx = FileContext(relative, source, tree, self.config)
-            for finding in self._check_tree(ctx):
-                (suppressed if ctx.is_suppressed(finding.line,
-                                                 finding.rule)
-                 else kept).append(finding)
-        project = Project(root=self.root, config=self.config)
+        reported_set = set(reported)
+        for relative in reported:
+            record = records[relative]
+            kept.extend(record.findings)
+            suppressed.extend(record.suppressed)
+            if record.error is not None and syntax_active:
+                kept.append(record.error)
+
+        # whole-program passes: computed over the full index, reported
+        # (and suppression-routed) only on the files in scope.
+        program_suppressed: Dict[str, Set[Tuple[int, str]]] = {}
+        suppression_maps: Dict[str, Dict[int, Set[str]]] = {}
+        for rule in program_rules:
+            for finding in rule.check_program(index):
+                if finding.path not in reported_set:
+                    continue
+                mapping = suppression_maps.get(finding.path)
+                if mapping is None:
+                    mapping = records[finding.path].suppression_map()
+                    suppression_maps[finding.path] = mapping
+                if finding.rule in mapping.get(finding.line, ()):
+                    suppressed.append(finding)
+                    program_suppressed.setdefault(
+                        finding.path, set()).add(
+                        (finding.line, finding.rule))
+                else:
+                    kept.append(finding)
+
+        if unused_active:
+            active_ids = {rule.rule_id for rule in self.rules}
+            for relative in reported:
+                record = records[relative]
+                used = {(finding.line, finding.rule)
+                        for finding in record.suppressed}
+                used |= program_suppressed.get(relative, set())
+                mapping = suppression_maps.get(relative)
+                if mapping is None:
+                    mapping = record.suppression_map()
+                for finding in self._stale_tags(relative, record.tags,
+                                                used, active_ids):
+                    if UnusedSuppressionRule.rule_id in \
+                            mapping.get(finding.line, ()):
+                        suppressed.append(finding)
+                    else:
+                        kept.append(finding)
+
+        project = Project(root=self.root, config=self.config,
+                          index=index)
         for rule in self.rules:
             if isinstance(rule, ProjectRule):
                 for path, line, message in rule.check_project(project):
@@ -281,11 +458,204 @@ class Analyzer:
                                         message=message))
         return ScanResult(findings=sorted(kept),
                           suppressed=sorted(suppressed),
-                          checked_files=len(files))
+                          checked_files=len(reported))
+
+    @staticmethod
+    def _stale_tags(path: str, tags, used: Set[Tuple[int, str]],
+                    active_ids: Set[str]) -> Iterator[Finding]:
+        for tag_line, ids, covered in tags:
+            stale = [rule_id for rule_id in ids
+                     if rule_id != UnusedSuppressionRule.rule_id
+                     and rule_id in active_ids
+                     and not any((line, rule_id) in used
+                                 for line in covered)]
+            if stale:
+                yield Finding(
+                    path=path, line=tag_line, col=0,
+                    rule=UnusedSuppressionRule.rule_id,
+                    message=f"allow[{', '.join(stale)}] suppresses "
+                            f"nothing on the line(s) it covers; remove "
+                            f"the stale tag or move it to the "
+                            f"offending line")
+
+    # ------------------------------------------------------------------
+    # per-module records (cached or fresh)
+    # ------------------------------------------------------------------
+    def _collect_records(self, files: Sequence[str],
+                         needs_index: bool) -> Dict[str, Any]:
+        from .cache import SummaryCache
+        from .project import module_name_for
+
+        sources: Dict[str, bytes] = {}
+        for relative in files:
+            with open(os.path.join(self.root, relative), "rb") as handle:
+                sources[relative] = handle.read()
+        modinfo = {relative: module_name_for(
+            relative, self.config.source_roots) for relative in files}
+
+        cache = SummaryCache(self.cache_dir) if self.cache_dir else None
+        trees: Dict[str, ast.Module] = {}
+        module_keys: Dict[str, str] = {}
+        if cache is not None:
+            module_keys = self._module_keys(files, sources, modinfo,
+                                            cache, trees)
+
+        records: Dict[str, Any] = {}
+        for relative in files:
+            record = None
+            key = module_keys.get(relative)
+            if cache is not None and key is not None:
+                record = self._load_record(cache, key)
+            if record is None:
+                record = self._build_record(relative, sources[relative],
+                                            modinfo[relative],
+                                            trees.get(relative),
+                                            needs_index)
+                if cache is not None and key is not None:
+                    cache.store("module", key, record.to_dict())
+            records[relative] = record
+        return records
+
+    def _module_keys(self, files, sources, modinfo, cache,
+                     trees) -> Dict[str, str]:
+        """Tree-hash cache keys, recovering imports without re-parsing."""
+        import hashlib
+
+        from .cache import source_hash, tree_hashes
+        from .summaries import module_imports
+
+        own_by_module: Dict[str, str] = {}
+        imports_by_module: Dict[str, Set[str]] = {}
+        file_of_module: Dict[str, str] = {}
+        fingerprint = self.fingerprint()
+        for relative in files:
+            info = modinfo[relative]
+            if info is None:
+                continue
+            module, is_package = info
+            own = source_hash(sources[relative])
+            own_by_module[module] = own
+            file_of_module[module] = relative
+            import_key = hashlib.sha256(
+                f"{fingerprint}:{relative}:{own}".encode()).hexdigest()
+            payload = cache.load("imports", import_key)
+            if payload is None:
+                try:
+                    tree = ast.parse(sources[relative].decode("utf-8"),
+                                     filename=relative)
+                except SyntaxError:
+                    imports: List[str] = []
+                else:
+                    trees[relative] = tree
+                    imports = module_imports(tree, module, is_package)
+                cache.store("imports", import_key,
+                            {"imports": imports})
+            else:
+                imports = list(payload.get("imports", []))
+            imports_by_module[module] = set(imports)
+        hashes = tree_hashes(own_by_module, imports_by_module,
+                             fingerprint)
+        return {file_of_module[module]: key
+                for module, key in hashes.items()}
+
+    def _load_record(self, cache, key: str):
+        from .project import ModuleRecord
+        payload = cache.load("module", key)
+        if payload is None:
+            return None
+        try:
+            return ModuleRecord.from_dict(payload)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def _build_record(self, relative: str, data: bytes, info,
+                      tree: Optional[ast.Module], needs_index: bool):
+        from .project import ModuleRecord
+        from .summaries import build_summary
+
+        module, is_package = info if info is not None else (None, False)
+        source = data.decode("utf-8")
+        if tree is None:
+            try:
+                tree = ast.parse(source, filename=relative)
+            except SyntaxError as error:
+                return ModuleRecord(
+                    path=relative.replace(os.sep, "/"), module=module,
+                    is_package=is_package,
+                    error=_syntax_error_finding(relative, error))
+        ctx = FileContext(relative, source, tree, self.config)
+        kept: List[Finding] = []
+        suppressed: List[Finding] = []
+        for finding in self._check_tree(ctx):
+            (suppressed if ctx.is_suppressed(finding.line, finding.rule)
+             else kept).append(finding)
+        summary = None
+        if needs_index and module is not None:
+            summary = build_summary(module, is_package, ctx)
+        return ModuleRecord(path=ctx.path, module=module,
+                            is_package=is_package, findings=sorted(kept),
+                            suppressed=sorted(suppressed),
+                            tags=list(ctx.suppression_tags),
+                            summary=summary)
+
+    # ------------------------------------------------------------------
+    # incremental scoping (``--changed-only``)
+    # ------------------------------------------------------------------
+    def changed_scope(self, changed: Sequence[str]) -> List[str]:
+        """Changed surface files plus transitive import-graph dependents.
+
+        ``changed`` is any iterable of repo-relative paths (straight
+        from ``git diff --name-only``); anything off the lint surface is
+        ignored.  A module's dependents are every module that reaches
+        it through imports — the same closure the cache invalidates —
+        so a scoped run re-checks exactly what the change can affect.
+        """
+        from .summaries import module_imports
+        from .project import module_name_for
+
+        surface = self.python_files(None)
+        changed_set = {path.replace(os.sep, "/") for path in changed}
+        seeds = sorted(changed_set & set(surface))
+        if not seeds:
+            return []
+        deps: Dict[str, Set[str]] = {}
+        module_of: Dict[str, str] = {}
+        for relative in surface:
+            info = module_name_for(relative, self.config.source_roots)
+            if info is None:
+                continue
+            module, is_package = info
+            module_of[relative] = module
+            try:
+                with open(os.path.join(self.root, relative)) as handle:
+                    tree = ast.parse(handle.read(), filename=relative)
+            except SyntaxError:
+                deps[module] = set()
+                continue
+            deps[module] = set(module_imports(tree, module, is_package))
+        reverse: Dict[str, Set[str]] = {}
+        for module, imported in deps.items():
+            for dep in imported:
+                if dep in deps:
+                    reverse.setdefault(dep, set()).add(module)
+        closure: Set[str] = set()
+        frontier = [module_of[path] for path in seeds
+                    if path in module_of]
+        while frontier:
+            module = frontier.pop()
+            if module in closure:
+                continue
+            closure.add(module)
+            frontier.extend(sorted(reverse.get(module, ())))
+        scope = set(seeds)
+        scope.update(path for path, module in module_of.items()
+                     if module in closure)
+        return sorted(scope)
 
     def _check_tree(self, ctx: FileContext) -> Iterator[Finding]:
         active = [rule for rule in self.rules
                   if not isinstance(rule, ProjectRule)
+                  and not isinstance(rule, ProgramRule)
                   and rule.applies_to(ctx)]
         by_type: Dict[type, List[Rule]] = {}
         for rule in active:
@@ -307,9 +677,22 @@ class Analyzer:
 def check_source(source: str, rules: Sequence[Rule],
                  config: Optional[AnalysisConfig] = None,
                  path: str = "<fixture>.py") -> ScanResult:
-    """Analyze one in-memory snippet (the fixture-test entry point)."""
+    """Analyze one in-memory snippet (the fixture-test entry point).
+
+    Runs the per-file passes plus the engine-computed ones (``E000``
+    when a :class:`SyntaxErrorRule` is supplied, ``A405`` when an
+    :class:`UnusedSuppressionRule` is); whole-program rules need real
+    trees — use an :class:`Analyzer` over a fixture directory instead.
+    """
     config = config or AnalysisConfig()
-    tree = ast.parse(source, filename=path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        if any(isinstance(rule, SyntaxErrorRule) for rule in rules):
+            return ScanResult(
+                findings=[_syntax_error_finding(path, error)],
+                suppressed=[], checked_files=1)
+        raise
     ctx = FileContext(path, source, tree, config)
     analyzer = Analyzer(rules, config, root=".")
     kept: List[Finding] = []
@@ -317,5 +700,13 @@ def check_source(source: str, rules: Sequence[Rule],
     for finding in analyzer._check_tree(ctx):
         (suppressed if ctx.is_suppressed(finding.line, finding.rule)
          else kept).append(finding)
+    if any(isinstance(rule, UnusedSuppressionRule) for rule in rules):
+        active_ids = {rule.rule_id for rule in rules}
+        used = {(finding.line, finding.rule) for finding in suppressed}
+        for finding in Analyzer._stale_tags(ctx.path,
+                                            ctx.suppression_tags, used,
+                                            active_ids):
+            (suppressed if ctx.is_suppressed(finding.line, finding.rule)
+             else kept).append(finding)
     return ScanResult(findings=sorted(kept), suppressed=sorted(suppressed),
                       checked_files=1)

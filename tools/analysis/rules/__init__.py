@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import List
 
-from ..core import Rule
+from ..core import Rule, SyntaxErrorRule, UnusedSuppressionRule
 from .contracts import (BareExceptRule, CampaignTimeoutRule,
                         CliErrorTypeRule, ExitCodeTableRule,
                         SwallowedExceptionRule)
@@ -21,16 +21,20 @@ from .numeric import (AggregateDivisionRule, DtypeDowncastRule,
                       FloatEqualityRule)
 from .observability import CampaignManifestRule, MetricReferenceRule
 from .performance import HotLoopAllocationRule
+from .wholeprogram import (ExitContractRule, IpcHygieneRule,
+                           SeedProvenanceRule)
 
 
 def all_rules() -> List[Rule]:
     """Every registered pass, ordered by rule id."""
     rules = [
+        SyntaxErrorRule(),
         UnseededRngRule(),
         WallClockRule(),
         UnsortedWalkRule(),
         SetIterationRule(),
         ForeignPoolRule(),
+        SeedProvenanceRule(),
         FloatEqualityRule(),
         AggregateDivisionRule(),
         DtypeDowncastRule(),
@@ -39,12 +43,15 @@ def all_rules() -> List[Rule]:
         CliErrorTypeRule(),
         ExitCodeTableRule(),
         CampaignTimeoutRule(),
+        ExitContractRule(),
         DocstringCoverageRule(),
+        UnusedSuppressionRule(),
         DocLinkRule(),
         CliReferenceRule(),
         AnnotationCoverageRule(),
         CampaignManifestRule(),
         MetricReferenceRule(),
         HotLoopAllocationRule(),
+        IpcHygieneRule(),
     ]
     return sorted(rules, key=lambda rule: rule.rule_id)

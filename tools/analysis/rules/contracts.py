@@ -32,7 +32,8 @@ FALLBACK_REPRO_ERRORS = frozenset({
     "ReproError", "AcquisitionError", "CaptureQualityError",
     "ConvergenceError", "ModelFormatError", "ProbeError",
     "ConfigurationError", "AnalysisError", "CampaignError",
-    "CheckpointError",
+    "CheckpointError", "AssemblerError", "TraceCodecError",
+    "MitigationError",
 })
 
 

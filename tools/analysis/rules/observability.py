@@ -196,10 +196,17 @@ class MetricReferenceRule(ProjectRule):
 
     REFERENCE = os.path.join("docs", "observability.md")
 
+    #: consume cached per-module summaries when the engine built an
+    #: index — a warm incremental run then never re-parses src/repro.
+    needs_index = True
+
     def check_project(self,
                       project: Project) -> Iterator[Tuple[str, int, str]]:
         reference_path = os.path.join(project.root, self.REFERENCE)
-        emitted = extract_names(project.root)
+        if project.index is not None:
+            emitted = project.index.metric_names("src/repro")
+        else:
+            emitted = extract_names(project.root)
         if not os.path.exists(reference_path):
             if emitted:
                 yield self.REFERENCE, 1, \
