@@ -36,20 +36,21 @@ docs:
 # benchmark (BENCH_train.json), the columnar trace-engine benchmark
 # (BENCH_trace.json), the supervised-campaign survival/resume
 # benchmark (BENCH_resume.json), the run-record overhead benchmark
-# (BENCH_observability.json), and the incremental-lint benchmark
-# (BENCH_lint.json) under benchmarks/results/.
+# (BENCH_observability.json), the incremental-lint benchmark
+# (BENCH_lint.json), and the signal-engine benchmark
+# (BENCH_signal.json) under benchmarks/results/.
 bench:
 	cd benchmarks && $(PYTHON) -m pytest test_perf_campaign.py \
 		test_perf_training.py test_perf_trace.py \
-		test_robustness_resume.py test_perf_observability.py \
-		test_perf_lint.py -x -q
+		test_perf_signal.py test_robustness_resume.py \
+		test_perf_observability.py test_perf_lint.py -x -q
 
-# Tiny-size smoke runs of the training, trace, resume, and
+# Tiny-size smoke runs of the training, trace, signal, resume, and
 # observability benchmarks (seconds, not minutes); they write
 # BENCH_*.quick.json so the committed full-size artifacts are never
 # clobbered.
 bench-quick:
 	cd benchmarks && REPRO_BENCH_QUICK=1 $(PYTHON) -m pytest \
 		test_perf_training.py test_perf_trace.py \
-		test_robustness_resume.py test_perf_observability.py \
-		test_perf_lint.py -x -q
+		test_perf_signal.py test_robustness_resume.py \
+		test_perf_observability.py test_perf_lint.py -x -q

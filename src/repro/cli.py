@@ -179,21 +179,30 @@ def _build_parser() -> argparse.ArgumentParser:
     bench = commands.add_parser(
         "bench", help="time sequential vs batched measurement campaigns "
                       "(--mode sim), scalar vs fast model building "
-                      "(--mode train), or the columnar trace engine vs "
-                      "the legacy recording path (--mode trace) and "
-                      "write a BENCH_*.json report")
+                      "(--mode train), the columnar trace engine vs "
+                      "the legacy recording path (--mode trace), or the "
+                      "streaming signal-analytics engine vs its direct "
+                      "oracles (--mode signal) and write a BENCH_*.json "
+                      "report")
     bench.add_argument("--mode", default="sim",
-                       choices=("sim", "train", "trace"),
+                       choices=("sim", "train", "trace", "signal"),
                        help="sim: measurement-campaign fan-out bench; "
                             "train: Trainer.fit fast-path bench; "
-                            "trace: columnar trace engine + codec bench")
+                            "trace: columnar trace engine + codec bench; "
+                            "signal: FFT synthesis, banded deconvolution "
+                            "and streaming TVLA bench")
     bench.add_argument("--probes", type=int, default=6,
                        help="activity probes per class for --mode train")
     bench.add_argument("--kernel", default="crc32",
                        help="workload kernel for --mode trace")
     bench.add_argument("--reps", type=int, default=9,
                        help="best-of repetitions per timed section for "
-                            "--mode trace")
+                            "--mode trace and --mode signal")
+    bench.add_argument("--cycles", type=int, default=4096,
+                       help="synthesis trace length in cycles for "
+                            "--mode signal")
+    bench.add_argument("--tvla-traces", type=int, default=1024,
+                       help="traces per TVLA group for --mode signal")
     bench.add_argument("--programs", type=int, default=256,
                        help="number of random campaign programs")
     bench.add_argument("--program-length", type=int, default=32,
@@ -212,8 +221,9 @@ def _build_parser() -> argparse.ArgumentParser:
                             "rate (0 disables)")
     bench.add_argument("--out", default=None,
                        help="write the machine-readable report here "
-                            "(default: BENCH_sim.json, BENCH_train.json "
-                            "or BENCH_trace.json, by --mode)")
+                            "(default: BENCH_sim.json, BENCH_train.json, "
+                            "BENCH_trace.json or BENCH_signal.json, "
+                            "by --mode)")
     _add_supervision_flags(bench)
 
     report = commands.add_parser(
@@ -475,6 +485,52 @@ def _bench_trace(args) -> int:
     return 0
 
 
+def _bench_signal(args) -> int:
+    """``bench --mode signal``: the streaming signal-analytics engine.
+
+    Times planned FFT/overlap-add synthesis against the direct
+    ``np.convolve`` oracle, cold banded-Cholesky batch deconvolution
+    against the legacy sparse-LU rebuild, and the peak memory of a
+    streaming Welford TVLA against the batch materialize-then-test
+    path.  Oracle agreement (<= 1e-9) is asserted inside the
+    measurement (see :mod:`repro.core.signalbench`); writes
+    ``BENCH_signal.json``.
+    """
+    from .core.signalbench import run_signal_bench
+
+    out = args.out or "BENCH_signal.json"
+    print(f"bench: signal engine at {args.cycles} synthesis cycles, "
+          f"{args.tvla_traces} TVLA traces/group, best of {args.reps} "
+          f"reps per section")
+
+    profiler = enable_profiling()
+    doc = run_signal_bench(cycles=args.cycles,
+                           tvla_traces=args.tvla_traces, reps=args.reps)
+
+    print(f"  synthesis ({doc['synthesis_cycles']} cycles): direct "
+          f"{doc['direct_synth_seconds'] * 1e3:7.2f} ms, engine "
+          f"{doc['engine_synth_seconds'] * 1e3:7.2f} ms "
+          f"({doc['synthesis_speedup']:.2f}x)")
+    print(f"  cold batch deconvolution ({doc['deconv_traces']} x "
+          f"{doc['deconv_cycles']} cycles): LU "
+          f"{doc['lu_deconv_seconds'] * 1e3:7.2f} ms, banded "
+          f"{doc['banded_deconv_seconds'] * 1e3:7.2f} ms "
+          f"({doc['batch_deconv_speedup']:.2f}x)")
+    print(f"  TVLA peak memory ({doc['tvla_traces_per_group']} "
+          f"traces/group): batch {doc['batch_tvla_peak_bytes']} B, "
+          f"streaming {doc['streaming_tvla_peak_bytes']} B "
+          f"({doc['tvla_rss_ratio']:.1f}x smaller)")
+    print(f"  oracle agreement: synthesis "
+          f"{doc['synthesis_max_error']:.2e}, deconvolution "
+          f"{doc['deconv_max_error']:.2e}, t-values "
+          f"{doc['tvla_max_error']:.2e}")
+
+    doc["manifest"] = current_manifest_path()
+    write_bench_json(out, metadata=doc, profiler=profiler)
+    print(f"report written to {out}")
+    return 0
+
+
 def _cmd_bench(args) -> int:
     import numpy as np
 
@@ -484,6 +540,8 @@ def _cmd_bench(args) -> int:
         return _bench_train(args)
     if args.mode == "trace":
         return _bench_trace(args)
+    if args.mode == "signal":
+        return _bench_signal(args)
     workers = resolve_workers(args.workers)
     args.out = args.out or "BENCH_sim.json"
     fault_plan = None

@@ -37,6 +37,7 @@ from ..robustness.health import HealthPolicy
 from ..robustness.retry import (AcquisitionStats, CaptureSupervisor,
                                 RetryPolicy)
 from .trace_cache import trace_key
+from ..leakage.streaming import WelfordAccumulator
 from ..signal.kernels import DampedSineKernel
 from ..signal.metrics import simulation_accuracy
 from ..signal.reconstruction import estimate_cycle_amplitudes, reconstruct
@@ -103,6 +104,10 @@ class TrainingReport:
     joint_fit: Optional[RobustFitInfo] = None
     miso_fit: Optional[RobustFitInfo] = None
     degraded_probes: List[str] = field(default_factory=list)
+    # streaming summary of the deconvolution loop (probe count, mean
+    # per-cycle amplitude level, pooled dispersion) — folded one probe
+    # at a time by the trainer's Welford accumulator
+    deconvolution: Optional[Dict[str, float]] = None
 
     def summary(self) -> str:
         """Multi-line run report (printed by ``repro train``)."""
@@ -121,6 +126,12 @@ class TrainingReport:
             lines.append(f"joint alpha fit {self.joint_fit.describe()}")
         if self.miso_fit is not None:
             lines.append(f"MISO fit {self.miso_fit.describe()}")
+        if self.deconvolution is not None:
+            lines.append(
+                f"deconvolution: {int(self.deconvolution['probes'])} "
+                f"probes, amplitude level "
+                f"{self.deconvolution['mean_level']:.4g} "
+                f"± {self.deconvolution['dispersion']:.4g}")
         return "\n".join(lines)
 
 
@@ -133,9 +144,11 @@ def fit_kernel(signal: np.ndarray, samples_per_cycle: int,
     For each candidate (t0, theta), deconvolve per-cycle amplitudes and
     score the re-synthesized waveform against the measurement; the best
     scorer wins (the paper's Fig. 1 parameter estimation).
-    ``cached=True`` routes every grid point through the memoized
-    LU deconvolver, so repeated calibrations at the same probe length
-    skip all 143 sparse factorizations.
+    Every grid point runs through the plan-cached banded deconvolver
+    (see :mod:`repro.signal.reconstruction`), so repeated calibrations
+    at the same probe length skip all 143 factorizations; ``cached`` is
+    retained for API compatibility but both settings land on the same
+    engine now that plans are always memoized.
     """
     t0_grid = t0_grid if t0_grid is not None else \
         np.linspace(0.15, 0.45, 13)
@@ -147,7 +160,7 @@ def fit_kernel(signal: np.ndarray, samples_per_cycle: int,
             kernel = DampedSineKernel(t0=float(t0), theta=float(theta))
             amplitudes = estimate_cycle_amplitudes(signal, kernel,
                                                    samples_per_cycle,
-                                                   cached=cached)
+                                                   method="banded")
             resynth = reconstruct(amplitudes, kernel, samples_per_cycle)
             score = simulation_accuracy(resynth, signal,
                                         samples_per_cycle)
@@ -229,6 +242,10 @@ class Trainer:
         self.report.acquisition = self.supervisor.stats
         self._journal: Optional[CheckpointJournal] = None
         self._batch_counter = 0
+        # streaming per-cycle amplitude moments folded by _amplitudes:
+        # O(samples) observability over the whole deconvolution loop
+        # without retaining any probe's amplitude vector
+        self._amplitude_stats = WelfordAccumulator()
 
     # ------------------------------------------------------------------
     # measurement helpers
@@ -313,11 +330,18 @@ class Trainer:
         return measurements
 
     def _amplitudes(self, measurement: Measurement) -> np.ndarray:
-        """Deconvolve one measurement's per-cycle amplitudes."""
+        """Deconvolve one measurement's per-cycle amplitudes.
+
+        Every deconvolution also folds into the trainer's streaming
+        amplitude accumulator (reported as ``deconvolution`` in the
+        :class:`TrainingReport`) — one pass, no matrices retained.
+        """
         with get_profiler().phase("train.deconvolve"):
-            return estimate_cycle_amplitudes(
+            amplitudes = estimate_cycle_amplitudes(
                 measurement.signal, self.config.kernel,
-                self.config.samples_per_cycle, cached=self.fast)
+                self.config.samples_per_cycle, method="banded")
+        self._amplitude_stats.add(amplitudes)
+        return amplitudes
 
     @staticmethod
     def _active_cycles(trace: ActivityTrace, seq: int,
@@ -371,6 +395,7 @@ class Trainer:
         nop_level = self._nop_baseline()
         amplitudes, base_flips = self._baseline_amplitudes(nop_level)
         regression = self._activity_regression(nop_level, amplitudes)
+        self._finish_amplitude_stats()
         model = EMSimModel(
             config=self.config,
             amplitudes=amplitudes,
@@ -389,6 +414,17 @@ class Trainer:
     def _log(self, message: str) -> None:
         if self.verbose:
             print(f"[trainer] {message}")
+
+    def _finish_amplitude_stats(self) -> None:
+        """Summarize the streaming deconvolution moments into the report."""
+        stats = self._amplitude_stats
+        if stats.count < 2:
+            return
+        self.report.deconvolution = {
+            "probes": float(stats.count),
+            "mean_level": float(np.mean(stats.mean)),
+            "dispersion": float(np.sqrt(np.mean(stats.variance()))),
+        }
 
     def _fit_kernel(self) -> None:
         """Stage 1: estimate kernel shape from a mixed probe signal."""

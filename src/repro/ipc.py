@@ -1,0 +1,264 @@
+"""Zero-copy shared-memory transport for campaign results.
+
+Campaign workers ship large float64 trace arrays back to the parent —
+measurement signals, per-cycle amplitudes, TVLA trace groups.  The
+default pickle pipe serializes every byte through the pool's result
+queue; for multi-megabyte trace matrices that copy dominates the
+fan-out.  This module moves the *payload* through POSIX shared memory
+(:mod:`multiprocessing.shared_memory`) and sends only a tiny
+:class:`SharedArrayRef` token through the pipe:
+
+* the **worker** exports qualifying arrays (``>=``
+  :data:`SHARED_MEMORY_THRESHOLD_BYTES`) into fresh segments under the
+  fan-out's arena prefix and returns refs in their place
+  (:func:`export_value`);
+* the **parent**'s :class:`SharedArrayArena` claims each ref as the
+  result is reaped — materializing the array and unlinking the segment
+  immediately — so downstream consumers (checkpoint journaling
+  included) see ordinary ``ndarray`` values, bit-identical to the
+  pickle path;
+* a **sweep** at arena close unlinks any segment the parent never
+  claimed (crashed/timed-out/quarantined attempts), so supervision
+  failure modes cannot leak ``/dev/shm`` entries.
+
+Everything degrades automatically: platforms without usable shared
+memory (or ``REPRO_NO_SHM=1``) fall back to the ordinary codec/pickle
+transport, and :func:`export_value` leaves values untouched on any
+segment-creation failure.  Only the transport changes — never the
+values — which is what the transport-identity property tests assert.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import os
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+from .observability.metrics import get_metrics
+
+__all__ = ["SharedArrayRef", "SharedArrayArena", "export_value",
+           "shared_memory_available", "SHARED_MEMORY_THRESHOLD_BYTES"]
+
+SHARED_MEMORY_THRESHOLD_BYTES = 16384
+"""Arrays smaller than this ride the ordinary pickle pipe — a segment
+round trip (shm_open/mmap/unlink) costs more than copying a few KB."""
+
+_ARENA_ENV_DISABLE = "REPRO_NO_SHM"
+"""Environment kill-switch: set to force the codec/pickle transport."""
+
+_SHM_DIR = "/dev/shm"
+
+# parent-side arena serial (distinguishes arenas within one process)
+_ARENA_COUNTER = 0
+# worker-side export serial (distinguishes segments within one worker)
+_EXPORT_COUNTER = 0
+
+
+def _unregister_segment(segment: object) -> None:
+    """Detach a segment from this process's resource tracker.
+
+    The arena owns segment lifetime explicitly (claim unlinks, sweep
+    collects strays); Python's per-process resource tracker would
+    otherwise unlink live segments at worker exit and warn about
+    "leaked" ones the parent is still reading.
+    """
+    with contextlib.suppress(ImportError, KeyError, AttributeError,
+                             OSError, ValueError):
+        from multiprocessing import resource_tracker
+        resource_tracker.unregister(segment._name, "shared_memory")
+
+
+def shared_memory_available() -> bool:
+    """True when POSIX shared memory works here and is not disabled."""
+    if os.environ.get(_ARENA_ENV_DISABLE):
+        return False
+    try:
+        from multiprocessing import shared_memory
+        probe = shared_memory.SharedMemory(create=True, size=16)
+    except (ImportError, OSError, FileNotFoundError):
+        return False
+    probe.close()
+    probe.unlink()   # unlink also unregisters from the tracker
+    return True
+
+
+@dataclass(frozen=True)
+class SharedArrayRef:
+    """Pipe-sized token standing in for an exported array.
+
+    Names the shared-memory ``segment`` holding the raw bytes plus the
+    ``shape``/``dtype`` needed to reinterpret them.  Refs are plain
+    picklable dataclasses, so they pass the supervised pool's IPC
+    hygiene gate (repro-lint X701 allowlists them) and survive the
+    result queue at a few dozen bytes regardless of payload size.
+    """
+
+    segment: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+    def materialize(self) -> np.ndarray:
+        """Copy the segment's bytes out into an ordinary owned array."""
+        from multiprocessing import shared_memory
+        segment = shared_memory.SharedMemory(name=self.segment)
+        _unregister_segment(segment)
+        try:
+            view = np.ndarray(self.shape, dtype=np.dtype(self.dtype),
+                              buffer=segment.buf)
+            return np.array(view, copy=True)
+        finally:
+            segment.close()
+
+
+def _export_array(array: np.ndarray, prefix: str) -> Optional[SharedArrayRef]:
+    """Move one array into a fresh segment; None on any failure."""
+    global _EXPORT_COUNTER
+    from multiprocessing import shared_memory
+    name = f"{prefix}w{os.getpid()}n{_EXPORT_COUNTER}"
+    _EXPORT_COUNTER += 1
+    try:
+        segment = shared_memory.SharedMemory(
+            create=True, size=max(1, array.nbytes), name=name)
+    except (OSError, FileNotFoundError, ValueError):
+        return None
+    _unregister_segment(segment)
+    try:
+        view = np.ndarray(array.shape, dtype=array.dtype,
+                          buffer=segment.buf)
+        view[...] = array
+    finally:
+        segment.close()
+    return SharedArrayRef(segment=name, shape=tuple(array.shape),
+                          dtype=array.dtype.str)
+
+
+def _exportable(value: object,
+                threshold: int) -> bool:
+    """Whether a value is an array worth moving through shared memory."""
+    return (isinstance(value, np.ndarray) and
+            value.dtype.hasobject is False and
+            value.nbytes >= threshold)
+
+
+def export_value(value: Any, prefix: str,
+                 threshold: int = SHARED_MEMORY_THRESHOLD_BYTES) -> Any:
+    """Replace large arrays inside a worker result with segment refs.
+
+    Walks the shapes campaign workers actually return — bare arrays,
+    dataclass records with array fields (``CampaignProbe``), and
+    lists/tuples of either — exporting every qualifying array under the
+    arena ``prefix``.  Anything else (and any export that fails) passes
+    through unchanged, so the pickle fallback is always sound.
+    """
+    registry = get_metrics()
+    if _exportable(value, threshold):
+        ref = _export_array(value, prefix)
+        if ref is None:
+            registry.increment("ipc.shm.fallbacks")
+            return value
+        registry.increment("ipc.shm.exported")
+        return ref
+    if isinstance(value, (list, tuple)):
+        converted = [export_value(item, prefix, threshold)
+                     for item in value]
+        return type(value)(converted)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        for field in dataclasses.fields(value):
+            current = getattr(value, field.name)
+            if _exportable(current, threshold):
+                exported = export_value(current, prefix, threshold)
+                try:
+                    setattr(value, field.name, exported)
+                except dataclasses.FrozenInstanceError:
+                    return value
+        return value
+    return value
+
+
+class SharedArrayArena:
+    """Parent-side lifecycle manager for one fan-out's segments.
+
+    Owns the arena ``prefix`` workers export under, claims refs back
+    into ordinary arrays as results are reaped, and sweeps unclaimed
+    segments (from crashed, timed-out, or quarantined attempts) when
+    the fan-out finishes.  Use as a context manager or call
+    :meth:`close` explicitly.
+    """
+
+    def __init__(self) -> None:
+        global _ARENA_COUNTER
+        _ARENA_COUNTER += 1
+        self.prefix = f"repro-arena{os.getpid()}c{_ARENA_COUNTER}"
+        self._closed = False
+
+    @classmethod
+    def create_if_available(cls) -> "Optional[SharedArrayArena]":
+        """An arena when shared memory works here; None otherwise."""
+        if shared_memory_available():
+            return cls()
+        return None
+
+    def claim(self, value: Any) -> Any:
+        """Materialize every :class:`SharedArrayRef` inside a result.
+
+        The segment is unlinked as soon as its bytes are copied out, so
+        a claimed result holds no shared-memory references — checkpoint
+        journaling and downstream consumers see plain arrays.
+        """
+        registry = get_metrics()
+        if isinstance(value, SharedArrayRef):
+            array = value.materialize()
+            self._unlink(value.segment)
+            registry.increment("ipc.shm.claimed")
+            return array
+        if isinstance(value, (list, tuple)):
+            return type(value)([self.claim(item) for item in value])
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            for field in dataclasses.fields(value):
+                current = getattr(value, field.name)
+                if isinstance(current, SharedArrayRef):
+                    setattr(value, field.name, self.claim(current))
+            return value
+        return value
+
+    def _unlink(self, name: str) -> None:
+        """Remove one segment from the system (idempotent)."""
+        with contextlib.suppress(OSError):
+            os.unlink(os.path.join(_SHM_DIR, name))
+
+    def sweep(self) -> int:
+        """Unlink every leftover segment under this arena's prefix.
+
+        Covers attempts whose results were never reaped: crashed or
+        SIGKILL'd workers, deadline rebuilds, quarantined items, and
+        innocent resubmissions whose first attempt also completed.
+        Returns the number of segments collected.
+        """
+        collected = 0
+        try:
+            entries = sorted(os.listdir(_SHM_DIR))
+        except OSError:
+            return 0
+        for entry in entries:
+            if entry.startswith(self.prefix):
+                self._unlink(entry)
+                collected += 1
+        if collected:
+            get_metrics().increment("ipc.shm.swept", collected)
+        return collected
+
+    def close(self) -> None:
+        """Sweep stray segments and retire the arena."""
+        if not self._closed:
+            self._closed = True
+            self.sweep()
+
+    def __enter__(self) -> "SharedArrayArena":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -16,7 +16,7 @@ import numpy as np
 from ..observability import record_campaign
 from ..parallel import resolve_workers, supervised_map
 from ..robustness.checkpoint import CheckpointJournal, content_key
-from ..robustness.errors import CampaignError
+from ..robustness.errors import CampaignError, ConfigurationError
 
 TVLA_THRESHOLD = 4.5
 """The conventional TVLA significance threshold."""
@@ -43,13 +43,17 @@ def welch_t_statistic(group_a: np.ndarray,
 
     Inputs are (traces, samples) matrices; returns (samples,) t values.
     Sample points with zero variance in both groups yield t = 0.
+    Mismatched trace lengths or fewer than two traces in a group raise
+    :class:`~repro.robustness.errors.ConfigurationError` (a
+    ``ValueError`` by inheritance, so existing callers' handlers keep
+    working).
     """
     group_a = np.atleast_2d(np.asarray(group_a, dtype=float))
     group_b = np.atleast_2d(np.asarray(group_b, dtype=float))
     if group_a.shape[1] != group_b.shape[1]:
-        raise ValueError("trace lengths differ between groups")
+        raise ConfigurationError("trace lengths differ between groups")
     if group_a.shape[0] < 2 or group_b.shape[0] < 2:
-        raise ValueError("each group needs at least two traces")
+        raise ConfigurationError("each group needs at least two traces")
     mean_a, mean_b = group_a.mean(axis=0), group_b.mean(axis=0)
     var_a = group_a.var(axis=0, ddof=1) / group_a.shape[0]
     var_b = group_b.var(axis=0, ddof=1) / group_b.shape[0]
@@ -106,7 +110,23 @@ class TVLAResult:
 def tvla(traces_fixed: Sequence[np.ndarray],
          traces_random: Sequence[np.ndarray],
          threshold: float = TVLA_THRESHOLD) -> TVLAResult:
-    """Fixed-vs-random TVLA over equal-length trace collections."""
+    """Fixed-vs-random TVLA over equal-length trace collections.
+
+    An empty trace group raises a typed
+    :class:`~repro.robustness.errors.CampaignError` naming the group —
+    the assessment is statistically meaningless without both groups.
+    For O(samples)-memory assessments over large campaigns, see
+    :func:`repro.leakage.streaming.streaming_tvla` (same t-values to
+    well inside 1e-9).
+    """
+    traces_fixed = list(traces_fixed)
+    traces_random = list(traces_random)
+    for name, group in (("fixed", traces_fixed),
+                        ("random", traces_random)):
+        if not group:
+            raise CampaignError(
+                f"TVLA needs traces in both groups: the {name} trace "
+                f"group is empty")
     length = min(min(len(trace) for trace in traces_fixed),
                  min(len(trace) for trace in traces_random))
     fixed = np.vstack([np.asarray(trace[:length], dtype=float)

@@ -50,6 +50,7 @@ from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
 
 import numpy as np
 
+from .ipc import SharedArrayArena, export_value
 from .observability.tracer import (create_spool, flush_worker_records,
                                    merge_spool, reset_flush_baseline)
 from .profiling import get_profiler, monotonic
@@ -267,17 +268,22 @@ _SUPERVISED_STATE: dict = {}
 def _supervised_init(queue: object, function: Callable,
                      initializer: Optional[Callable],
                      initargs: tuple,
-                     spool: Optional[str] = None) -> None:
+                     spool: Optional[str] = None,
+                     arena_prefix: Optional[str] = None) -> None:
     """Install the start-report queue + user initializer in a worker.
 
     ``spool`` (set when the parent is tracing) is the directory this
     worker appends its span/metric records to; the flush baseline is
     reset first so recordings inherited from the parent at fork time —
     including after a mid-campaign pool rebuild — are never re-spooled.
+    ``arena_prefix`` (set when the parent opened a
+    :class:`~repro.ipc.SharedArrayArena`) turns on shared-memory export
+    of large result arrays.
     """
     _SUPERVISED_STATE["queue"] = queue
     _SUPERVISED_STATE["function"] = function
     _SUPERVISED_STATE["spool"] = spool
+    _SUPERVISED_STATE["arena"] = arena_prefix
     if spool is not None:
         reset_flush_baseline()
     if initializer is not None:
@@ -295,12 +301,20 @@ def _supervised_call(index: int, item: object) -> object:
     if queue is not None:
         queue.put((os.getpid(), index))
     spool = _SUPERVISED_STATE.get("spool")
+    arena_prefix = _SUPERVISED_STATE.get("arena")
     if spool is None:
-        return _SUPERVISED_STATE["function"](item)
+        return _export(_SUPERVISED_STATE["function"](item), arena_prefix)
     try:
-        return _SUPERVISED_STATE["function"](item)
+        return _export(_SUPERVISED_STATE["function"](item), arena_prefix)
     finally:
         flush_worker_records(spool, index)
+
+
+def _export(value: object, arena_prefix: Optional[str]) -> object:
+    """Route a worker result through the shared-memory arena if open."""
+    if arena_prefix is None:
+        return value
+    return export_value(value, arena_prefix)
 
 
 @dataclass
@@ -345,11 +359,17 @@ class SupervisedPool:
     def __init__(self, workers: object = 1,
                  initializer: Optional[Callable] = None,
                  initargs: tuple = (),
-                 policy: Optional[SupervisionPolicy] = None):
+                 policy: Optional[SupervisionPolicy] = None,
+                 transport: str = "auto"):
         self.workers = resolve_workers(workers)
         self.initializer = initializer
         self.initargs = initargs
         self.policy = policy or SupervisionPolicy()
+        if transport not in ("auto", "shared", "codec"):
+            raise ConfigurationError(
+                f"invalid transport {transport!r}: expected 'auto', "
+                f"'shared', or 'codec'")
+        self.transport = transport
 
     # ------------------------------------------------------------------
     # public entry point
@@ -408,10 +428,24 @@ class SupervisedPool:
             # span/metric spool for tracing across the process boundary
             # (None while the tracer is disabled — zero overhead)
             spool = create_spool()
-            pool_state = self._start_pool(function, max(1, effective),
-                                          spool)
+            # shared-memory result channel: large arrays cross the
+            # process boundary as segment refs instead of pickle bytes
+            # (transport="codec" or unusable shared memory -> pipe)
+            arena = None
+            if self.transport != "codec":
+                arena = SharedArrayArena.create_if_available()
+                if arena is None and self.transport == "shared":
+                    raise ConfigurationError(
+                        "transport='shared' requested but shared memory "
+                        "is unavailable here (or REPRO_NO_SHM is set)")
+            pool_state = self._start_pool(
+                function, max(1, effective), spool,
+                arena.prefix if arena is not None else None)
             if pool_state is None:
                 merge_spool(spool)
+                if arena is not None:
+                    arena.close()
+                    arena = None
                 use_pool = False
         if use_pool:
             context, pool, queue = pool_state
@@ -419,9 +453,12 @@ class SupervisedPool:
                 self._run_pool(context, pool, queue, function, items,
                                pending, results, outcomes, ledger,
                                journal, keys, propagate,
-                               max(1, effective), profiler, spool)
+                               max(1, effective), profiler, spool,
+                               arena)
             finally:
                 merge_spool(spool)
+                if arena is not None:
+                    arena.close()
         else:
             self._run_serial(function, items, pending, results,
                              outcomes, journal, keys, propagate,
@@ -509,7 +546,8 @@ class SupervisedPool:
     # pool path
     # ------------------------------------------------------------------
     def _start_pool(self, function: Callable, processes: int,
-                    spool: Optional[str] = None):
+                    spool: Optional[str] = None,
+                    arena_prefix: Optional[str] = None):
         """Fork a supervised pool; ``None`` when the sandbox forbids it."""
         try:
             import multiprocessing
@@ -522,7 +560,7 @@ class SupervisedPool:
                 processes=processes,
                 initializer=_supervised_init,
                 initargs=(queue, function, self.initializer,
-                          self.initargs, spool))
+                          self.initargs, spool, arena_prefix))
         except (ImportError, OSError):            # pragma: no cover
             # restricted environments (no /dev/shm, fork disabled):
             # degrade to the in-process loop
@@ -535,7 +573,8 @@ class SupervisedPool:
                   ledger: CampaignLedger, journal: object,
                   keys: Optional[List[str]], propagate: bool,
                   processes: int, profiler: object,
-                  spool: Optional[str] = None) -> None:
+                  spool: Optional[str] = None,
+                  arena: Optional[SharedArrayArena] = None) -> None:
         timeout = self.policy.timeout
         # waiting entries are (index, charge): innocent resubmissions
         # after a rebuild carry charge=False so the ledger never depends
@@ -561,7 +600,8 @@ class SupervisedPool:
                 processes=processes,
                 initializer=_supervised_init,
                 initargs=(queue, function, self.initializer,
-                          self.initargs, spool))
+                          self.initargs, spool,
+                          arena.prefix if arena is not None else None))
 
         def submit(index: int, charge: bool) -> None:
             if charge:
@@ -618,6 +658,11 @@ class SupervisedPool:
                         del owner[pid]
                     try:
                         value = entry.handle.get()
+                        # claim shared-memory refs back into ordinary
+                        # arrays *before* journaling, so checkpoint
+                        # bytes are identical on every transport
+                        if arena is not None:
+                            value = arena.claim(value)
                     except Exception as exc:
                         fail(index, "error", exc)
                     else:
@@ -677,20 +722,26 @@ def supervised_map(function: Callable[[_ItemT], _ResultT],
                    seed: int = 0,
                    journal: object = None,
                    key_for: Optional[Callable[[int, _ItemT], str]] = None,
-                   sleep: Optional[Callable[[float], None]] = None
+                   sleep: Optional[Callable[[float], None]] = None,
+                   transport: str = "auto"
                    ) -> Tuple[List[Optional[_ResultT]], CampaignLedger]:
     """One-call supervised fan-out; returns ``(results, ledger)``.
 
     The campaign entry point: quarantined items leave ``None`` slots
     and a ledger row explaining why, instead of aborting the run.  See
     :class:`SupervisedPool` for the supervision mechanics and
-    :class:`SupervisionPolicy` for the knob semantics.
+    :class:`SupervisionPolicy` for the knob semantics.  ``transport``
+    selects the result channel for pool runs: ``"auto"`` (default)
+    ships large arrays through a :class:`~repro.ipc.SharedArrayArena`
+    when shared memory is usable, ``"codec"`` forces the legacy
+    pickle/codec pipe, ``"shared"`` requires shared memory.
     """
     pool = SupervisedPool(
         workers=workers, initializer=initializer, initargs=initargs,
         policy=SupervisionPolicy(timeout=timeout,
                                  max_item_retries=max_item_retries,
-                                 seed=seed, sleep=sleep))
+                                 seed=seed, sleep=sleep),
+        transport=transport)
     return pool.map(function, items, journal=journal, key_for=key_for)
 
 

@@ -47,7 +47,7 @@ from tools.analysis.rules.numeric import (  # noqa: E402
 from tools.analysis.rules.observability import (  # noqa: E402
     CampaignManifestRule, MetricReferenceRule, extract_names)
 from tools.analysis.rules.performance import (  # noqa: E402
-    HotLoopAllocationRule)
+    ConvolveOutsideOracleRule, HotLoopAllocationRule)
 
 # config that points every path-scoped rule at the fixture file
 EVERYWHERE = replace(
@@ -894,6 +894,121 @@ class TestHotLoopAllocation:
         analyzer = Analyzer([HotLoopAllocationRule()],
                             load_config(REPO_ROOT), REPO_ROOT)
         result = analyzer.run(["src/repro/uarch"])
+        assert result.findings == []
+        assert len(result.suppressed) == 4
+
+
+class TestModuleLevelHotFunctions:
+    """P601's ``module.function`` naming for module-level functions."""
+
+    CONFIG = replace(EVERYWHERE,
+                     hot_loop_functions=["reconstruction._scatter"])
+
+    def test_positive_module_level_function(self):
+        result = check_source(textwrap.dedent(
+            """
+            def _scatter(amplitudes, chunks):
+                return [amplitudes * chunk for chunk in chunks]
+            """), [HotLoopAllocationRule()], self.CONFIG,
+            path="src/repro/signal/reconstruction.py")
+        assert rule_ids(result) == ["P601"]
+        assert "reconstruction._scatter" in result.findings[0].message
+
+    def test_negative_same_name_in_other_module(self):
+        # the stem is part of the name: filters._scatter is not hot
+        result = check_source(textwrap.dedent(
+            """
+            def _scatter(amplitudes, chunks):
+                return [amplitudes * chunk for chunk in chunks]
+            """), [HotLoopAllocationRule()], self.CONFIG,
+            path="src/repro/signal/filters.py")
+        assert result.findings == []
+
+    def test_nested_function_resolves_at_outer_scope(self):
+        # a closure inside the hot function is still the hot function's
+        # per-call cost; it must not escape the check via its own name
+        result = check_source(textwrap.dedent(
+            """
+            def _scatter(amplitudes, chunks):
+                def phase(shift):
+                    return {shift: chunks[shift]}
+                return phase(0)
+            """), [HotLoopAllocationRule()], self.CONFIG,
+            path="src/repro/signal/reconstruction.py")
+        assert rule_ids(result) == ["P601"]
+        assert "reconstruction._scatter" in result.findings[0].message
+
+    def test_real_signal_kernels_clean_on_this_repo(self):
+        analyzer = Analyzer([HotLoopAllocationRule()],
+                            load_config(REPO_ROOT), REPO_ROOT)
+        result = analyzer.run(["src/repro/signal"])
+        assert result.findings == []
+
+
+class TestConvolveOutsideOracle:
+    def test_positive_aliased_convolve(self):
+        result = scan(
+            """
+            import numpy as np
+
+            def synthesize(amplitudes, kernel):
+                return np.convolve(amplitudes, kernel)
+            """, ConvolveOutsideOracleRule())
+        assert rule_ids(result) == ["P602"]
+        assert "reconstruct" in result.findings[0].message
+
+    def test_positive_from_import_and_module_scope(self):
+        result = scan(
+            """
+            from numpy import convolve
+            import numpy
+
+            waveform = convolve([1.0], [1.0])
+            other = numpy.convolve([1.0], [1.0])
+            """, ConvolveOutsideOracleRule())
+        assert rule_ids(result) == ["P602", "P602"]
+
+    def test_negative_sanctioned_oracle_function(self):
+        # the default config blesses reconstruction._direct_reconstruct
+        result = check_source(textwrap.dedent(
+            """
+            import numpy as np
+
+            def _direct_reconstruct(amplitudes, kernel):
+                return np.convolve(amplitudes, kernel)
+            """), [ConvolveOutsideOracleRule()], EVERYWHERE,
+            path="src/repro/signal/reconstruction.py")
+        assert result.findings == []
+
+    def test_negative_other_convolve_functions(self):
+        # scipy.signal.convolve, method calls, and unrelated names
+        result = scan(
+            """
+            from scipy.signal import convolve
+
+            def smooth(signal, kernel):
+                return convolve(signal, kernel)
+            """, ConvolveOutsideOracleRule())
+        assert result.findings == []
+
+    def test_suppressed_filtering_convolution(self):
+        result = scan(
+            """
+            import numpy as np
+
+            def smooth(signal, kernel):
+                # repro: allow[P602] a smoothing filter, not synthesis
+                return np.convolve(signal, kernel, mode="same")
+            """, ConvolveOutsideOracleRule())
+        assert result.findings == []
+        assert rule_ids_suppressed(result) == ["P602"]
+
+    def test_convolve_sites_audited_on_this_repo(self):
+        # the engine's oracle is config-sanctioned; the smoothing
+        # filters and the measured-hardware emitter carry allow tags
+        analyzer = Analyzer([ConvolveOutsideOracleRule()],
+                            load_config(REPO_ROOT), REPO_ROOT)
+        result = analyzer.run(["src/repro"])
         assert result.findings == []
         assert len(result.suppressed) == 4
 

@@ -29,9 +29,11 @@ class AnalysisConfig:
     #: modules making up the CLI layer; E303 restricts their raises.
     cli_modules: List[str] = field(default_factory=lambda: [
         "src/repro/cli.py", "src/repro/__main__.py"])
-    #: the one sanctioned process-pool module (D105 flags pools elsewhere).
+    #: the sanctioned process fan-out modules (D105 flags pools
+    #: elsewhere): the supervised pool itself and the shared-memory
+    #: result transport it rides on.
     pool_modules: List[str] = field(default_factory=lambda: [
-        "src/repro/parallel.py"])
+        "src/repro/parallel.py", "src/repro/ipc.py"])
     #: packages where even monotonic clocks are banned (D102); the
     #: simulation core must be a pure function of its seeds.
     monotonic_strict: List[str] = field(default_factory=lambda: [
@@ -59,12 +61,15 @@ class AnalysisConfig:
     #: markdown surfaces checked by the doc rules (A402/A403).
     doc_files: List[str] = field(default_factory=lambda: [
         "README.md", "docs"])
-    #: ``Class.method`` names on the per-cycle simulation hot path;
-    #: P601 flags any dict/list/set construction inside them — the
-    #: columnar trace engine exists precisely because per-cycle object
-    #: churn dominated simulate time.  The ``Legacy*`` reference paths
-    #: are listed too: their allocations carry explicit allow tags so
-    #: the preserved seed cost stays a visible, audited decision.
+    #: ``Class.method`` (or ``module.function`` for module-level
+    #: functions) names on the per-cycle simulation hot path; P601
+    #: flags any dict/list/set construction inside them — the columnar
+    #: trace engine exists precisely because per-cycle object churn
+    #: dominated simulate time.  The ``Legacy*`` reference paths are
+    #: listed too: their allocations carry explicit allow tags so the
+    #: preserved seed cost stays a visible, audited decision.  The
+    #: ``reconstruction.*`` entries are the signal engine's per-trace
+    #: kernels (``repro bench --mode signal`` gates their speedups).
     hot_loop_functions: List[str] = field(default_factory=lambda: [
         "ActivityTrace.begin_cycle", "ActivityTrace.commit_cycle",
         "ActivityTrace.end_cycle", "ActivityTrace.record",
@@ -74,11 +79,21 @@ class AnalysisConfig:
         "LegacyActivityTrace.end_cycle", "LegacyActivityTrace.record",
         "LegacyHardwareLatches.write",
         "LegacyHardwareLatches.write_bubble",
-        "OutOfOrderCore.step", "Pipeline.step"])
+        "OutOfOrderCore.step", "Pipeline.step",
+        "reconstruction._banded_rhs",
+        "reconstruction._overlap_add_synthesize",
+        "reconstruction._spectral_synthesize"])
     #: per-cycle dataclass/object types whose construction P601 also
     #: flags inside hot-loop functions (matched by unqualified name).
     hot_loop_types: List[str] = field(default_factory=lambda: [
         "StageOccupancy"])
+    #: the sanctioned direct-convolution sites (same naming scheme as
+    #: ``hot-loop-functions``); P602 flags every other ``np.convolve``
+    #: call in ``src`` — Eq. 6 synthesis must go through the planned
+    #: engine (``reconstruct``), with the direct path reserved for the
+    #: bit-exact oracle it is benchmarked against.
+    convolve_oracle_functions: List[str] = field(default_factory=lambda: [
+        "reconstruction._direct_reconstruct"])
     #: import roots mapping file paths to dotted module names for the
     #: ProjectIndex; tried in order (``src/repro/cli.py`` ->
     #: ``repro.cli``, ``tools/analysis/cli.py`` -> ``tools.analysis.cli``).
@@ -111,7 +126,8 @@ class AnalysisConfig:
     #: plain JSON-able types.  Each entry is justified in
     #: ``docs/static-analysis.md``.
     ipc_allowlist: List[str] = field(default_factory=lambda: [
-        "CampaignProbe", "SavatMeasurement", "Measurement"])
+        "CampaignProbe", "SavatMeasurement", "Measurement",
+        "SharedArrayRef"])
     #: name-based (dynamic) call edges are dropped when a bare name
     #: matches more than this many project functions — the graph stays
     #: an over-approximation without wiring the whole repo together.

@@ -20,7 +20,7 @@ from .hygiene import AnnotationCoverageRule, DocstringCoverageRule
 from .numeric import (AggregateDivisionRule, DtypeDowncastRule,
                       FloatEqualityRule)
 from .observability import CampaignManifestRule, MetricReferenceRule
-from .performance import HotLoopAllocationRule
+from .performance import ConvolveOutsideOracleRule, HotLoopAllocationRule
 from .wholeprogram import (ExitContractRule, IpcHygieneRule,
                            SeedProvenanceRule)
 
@@ -52,6 +52,7 @@ def all_rules() -> List[Rule]:
         CampaignManifestRule(),
         MetricReferenceRule(),
         HotLoopAllocationRule(),
+        ConvolveOutsideOracleRule(),
         IpcHygieneRule(),
     ]
     return sorted(rules, key=lambda rule: rule.rule_id)

@@ -16,9 +16,44 @@ point, and the tag makes that an audited decision.
 from __future__ import annotations
 
 import ast
+import os
 from typing import Iterator, Optional, Tuple
 
 from ..core import FileContext, Rule
+
+
+def _enclosing_function(node: ast.AST, ctx: FileContext
+                        ) -> Optional[Tuple[str, ast.stmt]]:
+    """``(qualified name, enclosing statement)`` of the function whose
+    body contains ``node`` (``None`` at module scope or in default
+    arguments).
+
+    Methods qualify as ``Class.method``; module-level functions as
+    ``module.function`` (the module's file stem) — the two naming
+    schemes the ``hot-loop-functions`` and ``convolve-oracle-functions``
+    config lists use.
+    """
+    statement: Optional[ast.stmt] = None
+    cursor: Optional[ast.AST] = node
+    while cursor is not None:
+        parent = ctx.parent(cursor)
+        if isinstance(cursor, ast.arguments):
+            return None  # default values evaluate at def time
+        if isinstance(cursor, ast.stmt) and statement is None and \
+                not isinstance(cursor, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef)):
+            statement = cursor
+        if isinstance(cursor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if isinstance(parent, ast.ClassDef):
+                scope = parent.name
+            elif isinstance(parent, ast.Module):
+                scope = os.path.basename(ctx.path)[:-len(".py")]
+            else:
+                cursor = parent
+                continue  # nested function: resolve at the outer scope
+            return f"{scope}.{cursor.name}", statement or cursor
+        cursor = parent
+    return None
 
 #: allocation expression nodes flagged inside hot-loop functions.
 _ALLOCATION_NODES = {
@@ -74,27 +109,14 @@ class HotLoopAllocationRule(Rule):
 
     def _hot_function(self, node: ast.AST,
                       ctx: FileContext) -> Optional[Tuple[str, ast.stmt]]:
-        """``(Class.method, enclosing statement)`` when ``node`` sits in
-        a configured hot-loop function's body (``None`` otherwise)."""
-        statement: Optional[ast.stmt] = None
-        cursor: Optional[ast.AST] = node
-        while cursor is not None:
-            parent = ctx.parent(cursor)
-            if isinstance(cursor, ast.arguments):
-                return None  # default values evaluate at def time
-            if isinstance(cursor, ast.stmt) and statement is None and \
-                    not isinstance(cursor, (ast.FunctionDef,
-                                            ast.AsyncFunctionDef)):
-                statement = cursor
-            if isinstance(cursor, (ast.FunctionDef,
-                                   ast.AsyncFunctionDef)) and \
-                    isinstance(parent, ast.ClassDef):
-                qualified = f"{parent.name}.{cursor.name}"
-                if qualified in ctx.config.hot_loop_functions:
-                    return qualified, statement or cursor
-                return None  # methods resolve at their own class only
-            cursor = parent
-        return None
+        """``(qualified name, enclosing statement)`` when ``node`` sits
+        in a configured hot-loop function's body (``None`` otherwise);
+        functions resolve at their own scope only."""
+        located = _enclosing_function(node, ctx)
+        if located is None or \
+                located[0] not in ctx.config.hot_loop_functions:
+            return None
+        return located
 
     def check_node(self, node: ast.AST,
                    ctx: FileContext) -> Iterator[Tuple[ast.AST, str]]:
@@ -107,6 +129,42 @@ class HotLoopAllocationRule(Rule):
         qualified, statement = located
         yield statement, (f"{description} in hot-loop function "
                           f"{qualified}; this runs every simulated "
-                          f"cycle — hoist the construction out of the "
-                          f"per-cycle path (precomputed table, "
+                          f"cycle (or once per trace in the signal "
+                          f"engine) — hoist the construction out of "
+                          f"the hot path (precomputed table, "
                           f"preallocated buffer, or positional writer)")
+
+
+class ConvolveOutsideOracleRule(Rule):
+    """P602: direct ``np.convolve`` only in the sanctioned oracle path.
+
+    The signal engine replaced direct Eq. 6 convolution with a planned
+    polyphase/FFT synthesis (``repro.signal.reconstruction``); the
+    seed's ``np.convolve`` evaluation survives solely as the
+    ``method="direct"`` oracle the engine is asserted against.  Any
+    other ``np.convolve`` call in the source tree is a finding unless
+    its enclosing function is listed under
+    ``convolve-oracle-functions`` (same ``Class.method`` /
+    ``module.function`` naming as the P601 list) or the site carries an
+    explicit ``allow[P602]`` tag — signal *filtering* legitimately
+    convolves, and the tags keep those sites audited decisions.
+    """
+
+    rule_id = "P602"
+    family = "performance"
+    title = "direct convolution outside the sanctioned oracle path"
+    node_types = (ast.Call,)
+
+    def check_node(self, node: ast.AST,
+                   ctx: FileContext) -> Iterator[Tuple[ast.AST, str]]:
+        if ctx.qualname(node.func) != "numpy.convolve":
+            return
+        located = _enclosing_function(node, ctx)
+        if located is not None and \
+                located[0] in ctx.config.convolve_oracle_functions:
+            return
+        yield node, ("np.convolve outside the sanctioned direct-oracle "
+                     "path; synthesize Eq. 6 waveforms through the "
+                     "planned engine (repro.signal.reconstruction."
+                     "reconstruct) — or tag a legitimate filtering "
+                     "convolution with allow[P602]")
